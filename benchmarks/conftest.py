@@ -1,0 +1,48 @@
+"""Shared fixtures for the benchmark suite.
+
+The figure benchmarks share one 800-slot paper scenario (seed 0): long
+enough for the running averages to stabilize and every paper shape to
+hold, short enough that the whole suite completes in a few minutes.
+Each benchmark times the experiment once (``pedantic`` with one round —
+these are end-to-end simulations, not microbenchmarks) and then asserts
+the DESIGN.md shape checks on the result.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import paper_scenario
+
+#: Horizon used by the figure-level benchmarks.
+BENCH_HORIZON = 800
+
+
+@pytest.fixture(scope="session")
+def bench_scenario():
+    """The shared paper scenario for all figure benchmarks."""
+    return paper_scenario(horizon=BENCH_HORIZON, seed=0)
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Time *func* exactly once and return its result."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+_EXPERIMENT_CACHE: dict = {}
+
+
+def run_cached(benchmark, key: str, func, *args, **kwargs):
+    """Compute an experiment once per session, reusing it across tests.
+
+    The first test of a module pays the real cost (and times it); the
+    shape-check siblings assert on the cached result instead of
+    re-simulating the identical sweep.
+    """
+
+    def compute():
+        if key not in _EXPERIMENT_CACHE:
+            _EXPERIMENT_CACHE[key] = func(*args, **kwargs)
+        return _EXPERIMENT_CACHE[key]
+
+    return benchmark.pedantic(compute, rounds=1, iterations=1)

@@ -1,0 +1,97 @@
+"""Ablations of the model extensions: parallelism, memory, forecasts.
+
+Each extension must change behaviour in its predicted direction:
+parallelism caps stretch job completion across slots; memory caps
+throttle memory-hungry mixes; MPC forecast quality orders the planner's
+energy (oracle <= diurnal <= persistence on diurnal prices).
+"""
+
+import numpy as np
+import pytest
+
+from repro.model.cluster import Cluster
+from repro.model.datacenter import DataCenter
+from repro.model.job import Account, JobType
+from repro.model.server import ServerClass
+from repro.scenarios import paper_scenario
+from repro.schedulers import AlwaysScheduler, RecedingHorizonScheduler
+from repro.simulation.simulator import Simulator
+from repro.simulation.trace import Scenario
+
+
+def _one_site_cluster(parallelism=None, memory=0.0, mem_cap=float("inf")) -> Cluster:
+    return Cluster(
+        server_classes=(ServerClass(name="s", speed=1.0, active_power=0.6),),
+        datacenters=(
+            DataCenter(name="d", max_servers=[40], memory_capacity=mem_cap),
+        ),
+        job_types=(
+            JobType(
+                name="j",
+                demand=4.0,
+                eligible_dcs=(0,),
+                account=0,
+                max_parallelism=parallelism,
+                memory=memory,
+            ),
+        ),
+        accounts=(Account(name="a", fair_share=1.0),),
+    )
+
+
+def _run_one_site(cluster, horizon=120, seed=0):
+    rng = np.random.default_rng(seed)
+    scn = Scenario(
+        cluster=cluster,
+        arrivals=rng.integers(0, 3, size=(horizon, 1)).astype(float),
+        availability=np.full((horizon, 1, 1), 40.0),
+        prices=rng.uniform(0.2, 0.8, size=(horizon, 1)),
+    )
+    return Simulator(scn, AlwaysScheduler(cluster), validate=True).run()
+
+
+def test_parallelism_cap_increases_delay(benchmark):
+    def run_both():
+        free = _run_one_site(_one_site_cluster(parallelism=None))
+        capped = _run_one_site(_one_site_cluster(parallelism=2.0))
+        return free, capped
+
+    free, capped = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    # A 4-work job on <= 2 unit-speed servers needs >= 2 slots.
+    assert capped.summary.avg_dc_delay[0] > free.summary.avg_dc_delay[0]
+    assert free.summary.avg_dc_delay[0] == pytest.approx(1.0, abs=0.2)
+
+
+def test_memory_cap_increases_delay(benchmark):
+    def run_both():
+        loose = _run_one_site(_one_site_cluster(memory=8.0, mem_cap=1e9))
+        tight = _run_one_site(_one_site_cluster(memory=8.0, mem_cap=16.0))
+        return loose, tight
+
+    loose, tight = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    # At most 2 jobs in memory at once: bursts queue up.
+    assert tight.summary.avg_dc_delay[0] >= loose.summary.avg_dc_delay[0]
+
+
+def test_forecast_quality_orders_mpc_energy(benchmark):
+    scenario = paper_scenario(horizon=300, seed=1)
+
+    def run_all():
+        energies = {}
+        for label, forecast in [
+            ("oracle", scenario),
+            ("diurnal", "diurnal"),
+            ("persistence", "persistence"),
+        ]:
+            scheduler = RecedingHorizonScheduler(
+                scenario.cluster, window=24, replan_every=6, forecast=forecast
+            )
+            result = Simulator(scenario, scheduler).run()
+            energies[label] = result.summary.avg_energy_cost
+        return energies
+
+    energies = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    # Perfect information never hurts; a diurnal prior beats flat
+    # persistence on diurnally-structured prices (with slack for noise).
+    assert energies["oracle"] <= energies["diurnal"] * 1.05
+    assert energies["diurnal"] <= energies["persistence"] * 1.10

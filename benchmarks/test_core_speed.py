@@ -1,0 +1,77 @@
+"""Microbenchmarks of the hot paths: simulator throughput and queue ops.
+
+These guard against performance regressions in the inner loop — a
+2000-slot paper run must remain a seconds-scale operation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.grefar import GreFarScheduler
+from repro.model.action import Action
+from repro.model.queues import QueueNetwork
+from repro.scenarios import paper_scenario, small_cluster, small_scenario
+from repro.schedulers import AlwaysScheduler
+from repro.simulation.simulator import Simulator
+
+
+@pytest.fixture(scope="module")
+def small_scn():
+    return small_scenario(horizon=200, seed=0)
+
+
+@pytest.fixture(scope="module")
+def paper_scn():
+    return paper_scenario(horizon=200, seed=0)
+
+
+def test_simulator_throughput_small(benchmark, small_scn):
+    sim = Simulator(small_scn, GreFarScheduler(small_scn.cluster, v=10.0))
+    result = benchmark(sim.run)
+    assert result.summary.horizon == 200
+
+
+def test_simulator_throughput_paper(benchmark, paper_scn):
+    sim = Simulator(paper_scn, GreFarScheduler(paper_scn.cluster, v=7.5))
+    result = benchmark.pedantic(sim.run, rounds=3, iterations=1)
+    assert result.summary.horizon == 200
+
+
+def test_always_throughput_paper(benchmark, paper_scn):
+    sim = Simulator(paper_scn, AlwaysScheduler(paper_scn.cluster))
+    result = benchmark.pedantic(sim.run, rounds=3, iterations=1)
+    assert result.summary.horizon == 200
+
+
+def test_queue_step_speed(benchmark):
+    cluster = small_cluster()
+    rng = np.random.default_rng(0)
+    n, j = cluster.num_datacenters, cluster.num_job_types
+    elig = cluster.eligibility_matrix()
+
+    def run_steps():
+        q = QueueNetwork(cluster)
+        for t in range(100):
+            route = rng.integers(0, 3, size=(n, j)).astype(float) * elig
+            serve = rng.uniform(0, 3, size=(n, j)) * elig
+            action = q.clip_to_content(
+                Action(route, serve, np.zeros((n, cluster.num_server_classes)))
+            )
+            q.step(action, rng.integers(0, 4, size=j).astype(float), t)
+        return q
+
+    q = benchmark(run_steps)
+    assert q.total_backlog() >= 0
+
+
+def test_grefar_decision_speed(benchmark, paper_scn):
+    scheduler = GreFarScheduler(paper_scn.cluster, v=7.5)
+    queues = QueueNetwork(paper_scn.cluster)
+    queues.step(
+        Action.idle(paper_scn.cluster),
+        paper_scn.arrivals[0],
+        t=0,
+    )
+    state = paper_scn.state_at(1)
+    action = benchmark(scheduler.decide, 1, state, queues)
+    action.validate(paper_scn.cluster, state)

@@ -1,0 +1,33 @@
+"""Benchmark: delay tails per V (the distribution behind Fig. 2's means).
+
+Shape checks: every percentile (p50/p95/p99) grows with V; tails stay
+bounded (the O(V) queue bound at work); the mean sits between p50 and
+p99.
+"""
+
+from repro.experiments import delay_distribution
+
+from conftest import run_cached
+
+
+def _result(benchmark, bench_scenario):
+    return run_cached(
+        benchmark, "delays", delay_distribution.run, scenario=bench_scenario
+    )
+
+
+def test_percentiles_grow_with_v(benchmark, bench_scenario):
+    result = _result(benchmark, bench_scenario)
+    for series in (result.p50, result.p95, result.p99):
+        assert series[-1] >= series[0]
+    # The headline tradeoff is visible in the tail, not just the mean.
+    assert result.p95[-1] > result.p95[0]
+
+
+def test_percentile_ordering_and_bounded_tails(benchmark, bench_scenario):
+    result = _result(benchmark, bench_scenario)
+    for i in range(len(result.v_values)):
+        assert result.p50[i] <= result.p95[i] <= result.p99[i]
+        # Deferral is systematic, not a lottery: p99 within a moderate
+        # multiple of the mean at every operating point.
+        assert result.p99[i] <= 12 * max(result.mean[i], 1.0)

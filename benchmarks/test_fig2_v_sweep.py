@@ -1,0 +1,43 @@
+"""Benchmark: regenerate Fig. 2 (energy and delay versus V, beta = 0).
+
+Shape checks (Section VI-B1): average energy cost decreases in V while
+the average delays in DC#1 and DC#2 increase in V — the four curves are
+ordered; V=0.1 behaves like "Always" (delay ~1 slot).
+"""
+
+import numpy as np
+
+from repro.experiments import fig2_v_sweep
+
+from conftest import run_cached
+
+
+def _result(benchmark, bench_scenario):
+    return run_cached(benchmark, "fig2", fig2_v_sweep.run, scenario=bench_scenario)
+
+
+def test_fig2_energy_decreases_in_v(benchmark, bench_scenario):
+    result = _result(benchmark, bench_scenario)
+    energy = result.final_energy
+    # Monotone across the paper's four V values.
+    assert energy[0] >= energy[1] >= energy[2] >= energy[3]
+    # And the spread is material: V=20 saves at least 5% over V=0.1.
+    assert energy[3] < 0.95 * energy[0]
+
+
+def test_fig2_delay_increases_in_v(benchmark, bench_scenario):
+    result = _result(benchmark, bench_scenario)
+    for delays in (result.final_delay_dc1, result.final_delay_dc2):
+        assert delays[0] <= delays[1] <= delays[2] <= delays[3]
+        # V=0.1 serves eagerly: ~1 slot in the data center queue.
+        assert delays[0] < 1.3
+        # V=20 visibly trades delay for cost.
+        assert delays[3] > 1.8
+
+
+def test_fig2_running_averages_stabilize(benchmark, bench_scenario):
+    """The cumulative averages settle: late values move slowly."""
+    result = _result(benchmark, bench_scenario)
+    for series in result.energy_series:
+        tail = series[-100:]
+        assert np.ptp(tail) < 0.1 * abs(np.mean(tail))

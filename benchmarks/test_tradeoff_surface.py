@@ -1,0 +1,57 @@
+"""Benchmark: the (V, beta) control surface (the "tunable system" claim).
+
+Shape checks across the grid: energy falls along the V axis at every
+beta; delay rises along the V axis at every beta; fairness (weakly)
+improves along the beta axis at the larger V values, where deferral
+gives the fairness term room to work.
+"""
+
+import numpy as np
+
+from repro.experiments import tradeoff_surface
+
+from conftest import run_once
+
+
+_CACHE = {}
+
+
+def _surface(benchmark, bench_scenario):
+    """Compute the surface once per session; later tests time the cache hit."""
+
+    def compute():
+        key = id(bench_scenario)
+        if key not in _CACHE:
+            _CACHE[key] = tradeoff_surface.run(
+                scenario=bench_scenario,
+                v_grid=(0.5, 7.5, 30.0),
+                beta_grid=(0.0, 100.0, 300.0),
+            )
+        return _CACHE[key]
+
+    return run_once(benchmark, compute)
+
+
+def test_energy_falls_along_v(benchmark, bench_scenario):
+    surface = _surface(benchmark, bench_scenario)
+    for bi in range(len(surface.beta_grid)):
+        column = surface.energy[:, bi]
+        assert column[-1] < column[0], (
+            f"beta={surface.beta_grid[bi]}: energy {column} not falling in V"
+        )
+
+
+def test_delay_rises_along_v(benchmark, bench_scenario):
+    surface = _surface(benchmark, bench_scenario)
+    for bi in range(len(surface.beta_grid)):
+        column = surface.delay[:, bi]
+        assert column[-1] > column[0]
+
+
+def test_fairness_improves_along_beta_at_high_v(benchmark, bench_scenario):
+    surface = _surface(benchmark, bench_scenario)
+    high_v = surface.fairness[-1, :]  # largest V row
+    assert high_v[-1] >= high_v[0]
+    # And the surface is finite/valid everywhere.
+    assert np.all(np.isfinite(surface.energy))
+    assert np.all(surface.fairness <= 0)

@@ -1,0 +1,24 @@
+"""Benchmark: the Section VI-B1 in-text work-distribution result.
+
+Shape check: GreFar sends more work to sites with lower average energy
+cost per unit work — ordering DC#2 > DC#1 > DC#3 (Table I costs
+0.346 < 0.392 < 0.572), as in the paper's 48.5 / 34.0 / 14.8 split.
+"""
+
+from repro.experiments import work_distribution
+
+from conftest import run_cached
+
+
+def test_work_follows_inverse_cost_ordering(benchmark, bench_scenario):
+    result = run_cached(benchmark, "work", work_distribution.run, scenario=bench_scenario)
+    assert result.ordering_matches_cost
+    w1, w2, w3 = result.avg_work_per_dc
+    assert w2 > w1 > w3
+
+
+def test_expensive_site_gets_minority_share(benchmark, bench_scenario):
+    result = run_cached(benchmark, "work", work_distribution.run, scenario=bench_scenario)
+    total = sum(result.avg_work_per_dc)
+    # DC#3's share stays a clear minority (paper: ~15%).
+    assert result.avg_work_per_dc[2] / total < 0.30

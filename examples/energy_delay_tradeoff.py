@@ -1,0 +1,67 @@
+"""Sweep the cost-delay parameter V and map the energy/delay tradeoff.
+
+Theorem 1 promises an O(1/V) cost gap and O(V) queue bound: sweeping V
+traces out the tunable frontier between electricity cost and queueing
+delay.  This example runs the sweep, prints the frontier, and shows the
+analytic queue bound next to the measured maximum queue.
+
+Run with:  python examples/energy_delay_tradeoff.py
+"""
+
+import numpy as np
+
+from repro import TheoremConstants, check_slackness, paper_scenario
+from repro.analysis import format_table, sweep_v
+
+
+def main() -> None:
+    scenario = paper_scenario(horizon=750, seed=3)
+    cluster = scenario.cluster
+
+    slack = check_slackness(cluster, scenario.arrivals, scenario.availability)
+    print(
+        f"slackness: feasible={slack.feasible}, delta={slack.max_delta:.1f}, "
+        f"peak utilization={slack.worst_utilization:.0%}"
+    )
+
+    constants = TheoremConstants.from_scenario(
+        cluster,
+        max_arrivals=scenario.arrivals.max(axis=0),
+        price_cap=float(scenario.prices.max()),
+    )
+
+    v_values = [0.1, 1.0, 2.5, 7.5, 20.0, 40.0]
+    points = sweep_v(scenario, v_values)
+
+    rows = []
+    for p in points:
+        bound = constants.queue_bound(max(p.v, 1e-3), slack.max_delta)
+        rows.append(
+            (
+                f"{p.v:g}",
+                p.avg_energy_cost,
+                p.avg_total_delay,
+                p.max_queue_length,
+                bound,
+            )
+        )
+    print()
+    print(
+        format_table(
+            ["V", "Avg energy", "Avg delay (slots)", "Max queue", "Queue bound O(V)"],
+            rows,
+            title="Energy/delay frontier (beta = 0)",
+        )
+    )
+
+    energies = np.array([p.avg_energy_cost for p in points])
+    delays = np.array([p.avg_total_delay for p in points])
+    print(
+        f"\nsweeping V {v_values[0]:g} -> {v_values[-1]:g} cut energy by "
+        f"{1 - energies[-1] / energies[0]:.1%} while delay grew "
+        f"{delays[-1] / delays[0]:.1f}x — pick the point your SLO allows."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Fairness study: the energy-fairness knob and alternative fairness scores.
+
+Sweeps the energy-fairness parameter beta at fixed V and reports how the
+allocation moves toward the 40/30/15/15 organizational targets, then
+re-runs GreFar with alternative fairness functions (alpha-fair, max-min)
+— footnote 5 of the paper notes the analysis carries over.
+
+Run with:  python examples/fairness_study.py
+"""
+
+from repro import (
+    AlphaFairness,
+    CostModel,
+    GreFarScheduler,
+    JainFairness,
+    MaxMinFairness,
+    QuadraticFairness,
+    Simulator,
+    paper_scenario,
+)
+from repro.analysis import format_table
+
+
+def main() -> None:
+    scenario = paper_scenario(horizon=400, seed=11)
+    cluster = scenario.cluster
+    measure = CostModel(beta=0.0)  # measure energy & fairness separately
+
+    # ------------------------------------------------------------------
+    # Part 1: sweep beta with the paper's quadratic fairness.
+    # ------------------------------------------------------------------
+    rows = []
+    for beta in [0.0, 10.0, 100.0, 300.0]:
+        scheduler = GreFarScheduler(cluster, v=7.5, beta=beta)
+        result = Simulator(scenario, scheduler, cost_model=measure).run()
+        s = result.summary
+        rows.append((f"{beta:g}", s.avg_energy_cost, s.avg_fairness, s.avg_total_delay))
+    print(
+        format_table(
+            ["beta", "Avg energy", "Avg fairness (eq. 3)", "Avg delay"],
+            rows,
+            precision=4,
+            title="Sweeping the energy-fairness parameter (V = 7.5)",
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # Part 2: swap the fairness function (footnote 5).
+    # ------------------------------------------------------------------
+    # Common yardstick regardless of what each scheduler optimizes: the
+    # per-slot Jain index of the account allocations, averaged over time.
+    jain_measure = CostModel(beta=0.0, fairness=JainFairness())
+    rows = []
+    for name, fn, beta in [
+        ("quadratic (paper)", QuadraticFairness(), 100.0),
+        ("alpha-fair (a=1)", AlphaFairness(alpha=1.0), 10.0),
+        ("max-min", MaxMinFairness(), 50.0),
+    ]:
+        scheduler = GreFarScheduler(cluster, v=7.5, beta=beta, fairness=fn)
+        result = Simulator(scenario, scheduler, cost_model=jain_measure).run()
+        rows.append(
+            (name, result.summary.avg_energy_cost, result.summary.avg_fairness)
+        )
+    print()
+    print(
+        format_table(
+            ["Fairness function", "Avg energy", "Per-slot Jain index"],
+            rows,
+            precision=4,
+            title="Alternative fairness functions under GreFar (V = 7.5)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

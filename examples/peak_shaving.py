@@ -1,0 +1,125 @@
+"""Peak shaving with tiered electricity pricing and admission control.
+
+Real utility contracts charge convex, increasing-block rates: the first
+megawatts are cheap, the next tier costs more, and demand above the
+contracted peak is punitive (Section III-A2's "increasing and convex"
+cost).  Under such pricing, *when* matters less than *how much at
+once* — the scheduler should spread work to stay inside the cheap
+tiers.
+
+This example runs GreFar under linear vs. tiered pricing, shows the
+peak-power shaving, and adds a backlog-cap admission policy (the
+paper's Section V overload remedy) to keep queues bounded during a
+demand storm.
+
+Run with:  python examples/peak_shaving.py
+"""
+
+import numpy as np
+
+from repro import (
+    BacklogCapAdmission,
+    CostModel,
+    GreFarScheduler,
+    LinearPricing,
+    Simulator,
+    TieredPricing,
+    paper_scenario,
+)
+from repro.analysis import format_table
+
+
+def main() -> None:
+    scenario = paper_scenario(horizon=400, seed=13)
+    cluster = scenario.cluster
+
+    # Two-tier contract per site: the first 60 energy units per hour at
+    # the market rate, everything above at 3x.
+    tiered = TieredPricing(boundaries=(60.0,), multipliers=(1.0, 3.0))
+
+    # Energy drawn per site-slot = work x (p/s) of the site's server
+    # class (each paper site runs one class).
+    unit_energy = np.array(
+        [cluster.server_classes[i].energy_per_unit_work for i in range(3)]
+    )
+
+    rows = []
+    overage = {}
+    for label, pricing in [("linear", LinearPricing()), ("tiered 3x", tiered)]:
+        scheduler = GreFarScheduler(cluster, v=20.0, pricing=pricing)
+        # Measure both runs under the *tiered* bill, so the comparison
+        # reflects what the utility would actually charge.
+        measure = CostModel(beta=0.0, pricing=tiered)
+        result = Simulator(scenario, scheduler, cost_model=measure).run()
+        energy = result.metrics.work_per_dc_series() * unit_energy[np.newaxis, :]
+        # Energy billed in the punitive tier (above 60 per site-slot).
+        tier2 = float(np.clip(energy - 60.0, 0.0, None).sum())
+        overage[label] = tier2
+        rows.append(
+            (
+                label,
+                result.summary.avg_energy_cost,
+                tier2,
+                result.summary.avg_total_delay,
+            )
+        )
+    print(
+        format_table(
+            ["Scheduler pricing", "Avg billed cost", "Tier-2 energy", "Avg delay"],
+            rows,
+            title="GreFar under a two-tier utility contract (billed at tiers)",
+        )
+    )
+    if overage["linear"] > 0:
+        shaved = 1.0 - overage["tiered 3x"] / overage["linear"]
+        print(f"\ntier-aware scheduling cut punitive-tier energy by {shaved:.0%}")
+
+    # ------------------------------------------------------------------
+    # Admission control under genuine overload: a plant half the usual
+    # size faces the full workload (offered load > capacity), which is
+    # exactly where the paper says to bring in admission control.
+    # ------------------------------------------------------------------
+    from repro import AvailabilityModel, CosmosWorkload, Scenario, paper_cluster
+
+    small_plant = paper_cluster(server_counts=(60, 80, 30))
+    storm = Scenario.generate(
+        small_plant,
+        horizon=300,
+        seed=21,
+        workload=CosmosWorkload(small_plant, mean_total_work=150.0),
+        availability_model=AvailabilityModel(small_plant, floor_fraction=0.8),
+    )
+    rows = []
+    for label, admission in [
+        ("no admission control", None),
+        ("backlog cap 400 work", BacklogCapAdmission(max_backlog_work=400.0)),
+    ]:
+        scheduler = GreFarScheduler(storm.cluster, v=5.0)
+        result = Simulator(storm, scheduler, admission=admission).run()
+        s = result.summary
+        rows.append(
+            (
+                label,
+                s.max_queue_length,
+                s.avg_total_delay,
+                s.total_dropped_jobs,
+            )
+        )
+    print()
+    print(
+        format_table(
+            ["Policy", "Max queue", "Avg delay", "Dropped jobs"],
+            rows,
+            title="Overload (offered 150 work/slot, capacity ~120): admission control",
+        )
+    )
+    print(
+        "\nWithout admission control the backlog grows without bound (the\n"
+        "slackness conditions fail, so Theorem 1's queue bound does not\n"
+        "apply); the backlog cap keeps queues and delays bounded by\n"
+        "rejecting the overload explicitly."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Stress test: adversarial, non-stationary prices and bursty arrivals.
+
+GreFar's guarantee (Theorem 1) holds for *arbitrary* state processes —
+no stationarity, no known statistics.  This example hand-crafts a nasty
+scenario: a multi-day price spike at every site simultaneously (a
+regional heat wave), a demand surge in the middle of it, and a price
+collapse afterwards.  GreFar rides through: it defers what it can,
+queues stay bounded, and the backlog drains the moment prices collapse.
+
+Run with:  python examples/price_spike_stress.py
+"""
+
+import numpy as np
+
+from repro import (
+    AlwaysScheduler,
+    GreFarScheduler,
+    QueueNetwork,
+    Scenario,
+    Simulator,
+    small_cluster,
+)
+from repro.analysis import format_table
+from repro.workloads import AvailabilityModel
+
+
+def build_scenario(horizon: int = 300) -> Scenario:
+    cluster = small_cluster()
+    rng = np.random.default_rng(42)
+
+    # Prices: calm -> 4x spike for 60 slots -> collapse to near-zero.
+    prices = np.full((horizon, 2), 0.4)
+    prices[:, 1] = 0.5
+    prices[100:160] *= 4.0  # the heat wave
+    prices[160:220] *= 0.15  # the collapse
+    prices += rng.normal(0.0, 0.02, size=prices.shape)
+    prices = np.clip(prices, 0.01, None)
+
+    # Arrivals: steady trickle plus a surge *during* the spike.
+    arrivals = rng.poisson(3.0, size=(horizon, 2))
+    arrivals[110:140, 0] += 6
+    arrivals = np.minimum(arrivals, 50)
+
+    availability = AvailabilityModel(cluster, floor_fraction=0.9).generate(horizon, rng)
+    return Scenario(
+        cluster=cluster,
+        arrivals=arrivals,
+        availability=availability,
+        prices=prices,
+    )
+
+
+def main() -> None:
+    scenario = build_scenario()
+    cluster = scenario.cluster
+
+    rows = []
+    spike = slice(100, 160)
+    collapse = slice(160, 220)
+    for scheduler in [
+        GreFarScheduler(cluster, v=15.0),
+        AlwaysScheduler(cluster),
+    ]:
+        result = Simulator(scenario, scheduler).run()
+        work = result.metrics.work_per_dc_series().sum(axis=1)
+        rows.append(
+            (
+                result.summary.scheduler,
+                result.summary.avg_energy_cost,
+                float(work[spike].mean()),
+                float(work[collapse].mean()),
+                result.summary.max_queue_length,
+                result.summary.avg_total_delay,
+            )
+        )
+
+    print(
+        format_table(
+            [
+                "Scheduler",
+                "Avg energy",
+                "Work during spike",
+                "Work after collapse",
+                "Max queue",
+                "Avg delay",
+            ],
+            rows,
+            title="Heat-wave stress: 4x price spike (slots 100-160), collapse after",
+        )
+    )
+    print(
+        "\nGreFar throttles work during the spike and catches up when prices\n"
+        "collapse; Always burns money straight through the spike.  Queues stay\n"
+        "bounded throughout (Theorem 1 needs no stationarity assumptions)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,152 @@
+"""repro — a full reproduction of *Provably-Efficient Job Scheduling for
+Energy and Fairness in Geographically Distributed Data Centers*
+(GreFar, ICDCS 2012).
+
+The package provides:
+
+* :class:`GreFarScheduler` — the paper's online drift-plus-penalty
+  scheduler (Algorithm 1), with exact greedy, LP, QP and
+  projected-gradient slot backends;
+* the full system model of Section III (clusters, server classes, job
+  types, exact queue dynamics with per-job delay ledgers);
+* fairness functions (the paper's quadratic score plus alternates);
+* baselines ("Always", the optimal T-step lookahead comparator of
+  Theorem 1, and ablation baselines);
+* workload substrates standing in for the proprietary inputs (Cosmos
+  traces, FERC prices);
+* a time-slotted simulator with the paper's running-average metrics;
+* Theorem 1 constants/bounds and slackness checking.
+
+Quickstart::
+
+    from repro import GreFarScheduler, Simulator, paper_scenario
+
+    scenario = paper_scenario(horizon=500, seed=1)
+    scheduler = GreFarScheduler(scenario.cluster, v=7.5, beta=100.0)
+    result = Simulator(scenario, scheduler).run()
+    print(result.summary.as_dict())
+"""
+
+from repro.core.bounds import TheoremConstants
+from repro.core.constraints import parallelism_service_bounds
+from repro.core.grefar import GreFarScheduler
+from repro.core.objective import CostModel, SlotCost
+from repro.core.slackness import SlacknessReport, check_slackness
+from repro.fairness import (
+    AlphaFairness,
+    FairnessFunction,
+    JainFairness,
+    MaxMinFairness,
+    QuadraticFairness,
+)
+from repro.model import (
+    Account,
+    Action,
+    Cluster,
+    ClusterState,
+    DataCenter,
+    DelayStats,
+    JobBatch,
+    JobType,
+    LinearPricing,
+    PricingModel,
+    QueueNetwork,
+    ServerClass,
+    TieredPricing,
+)
+from repro.scenarios import (
+    PAPER_FAIR_SHARES,
+    PAPER_PRICE_MEANS,
+    paper_cluster,
+    paper_scenario,
+    small_cluster,
+    small_scenario,
+)
+from repro.core.admission import (
+    AccountQuotaAdmission,
+    AdmissionPolicy,
+    AdmitAll,
+    BacklogCapAdmission,
+)
+from repro.schedulers import (
+    AlwaysScheduler,
+    LookaheadPolicy,
+    LookaheadSolution,
+    PriceThresholdScheduler,
+    RandomRoutingScheduler,
+    RecedingHorizonScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    TroughFillingScheduler,
+)
+from repro.simulation import (
+    MetricsCollector,
+    Scenario,
+    SimulationResult,
+    SimulationSummary,
+    Simulator,
+    run_comparison,
+)
+from repro.workloads import (
+    AvailabilityModel,
+    CosmosWorkload,
+    PriceModel,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Account",
+    "AccountQuotaAdmission",
+    "Action",
+    "AdmissionPolicy",
+    "AdmitAll",
+    "BacklogCapAdmission",
+    "AlphaFairness",
+    "AlwaysScheduler",
+    "AvailabilityModel",
+    "Cluster",
+    "ClusterState",
+    "CosmosWorkload",
+    "CostModel",
+    "DataCenter",
+    "DelayStats",
+    "FairnessFunction",
+    "GreFarScheduler",
+    "JainFairness",
+    "JobBatch",
+    "JobType",
+    "LinearPricing",
+    "LookaheadPolicy",
+    "LookaheadSolution",
+    "MaxMinFairness",
+    "MetricsCollector",
+    "PAPER_FAIR_SHARES",
+    "PAPER_PRICE_MEANS",
+    "PriceModel",
+    "PriceThresholdScheduler",
+    "PricingModel",
+    "QuadraticFairness",
+    "QueueNetwork",
+    "RandomRoutingScheduler",
+    "RecedingHorizonScheduler",
+    "RoundRobinScheduler",
+    "Scenario",
+    "Scheduler",
+    "ServerClass",
+    "SimulationResult",
+    "SimulationSummary",
+    "Simulator",
+    "SlacknessReport",
+    "SlotCost",
+    "TheoremConstants",
+    "TieredPricing",
+    "TroughFillingScheduler",
+    "check_slackness",
+    "paper_cluster",
+    "parallelism_service_bounds",
+    "paper_scenario",
+    "run_comparison",
+    "small_cluster",
+    "small_scenario",
+]

@@ -1,0 +1,89 @@
+"""Shared validation helpers used across the :mod:`repro` package.
+
+These helpers centralize argument checking so that every public
+constructor raises consistent, informative errors.  All of them raise
+:class:`ValueError` (or :class:`TypeError` for type mismatches) with a
+message that names the offending parameter.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "require_positive",
+    "require_non_negative",
+    "require_in_range",
+    "require_integer",
+    "require_array_shape",
+    "require_non_negative_array",
+    "as_float_array",
+    "as_int_array",
+]
+
+
+def require_positive(value: float, name: str) -> float:
+    """Return *value* if strictly positive, else raise ``ValueError``."""
+    if not np.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a finite positive number, got {value!r}")
+    return float(value)
+
+
+def require_non_negative(value: float, name: str) -> float:
+    """Return *value* if ``>= 0`` and finite, else raise ``ValueError``."""
+    if not np.isfinite(value) or value < 0:
+        raise ValueError(f"{name} must be a finite non-negative number, got {value!r}")
+    return float(value)
+
+
+def require_in_range(value: float, low: float, high: float, name: str) -> float:
+    """Return *value* if it lies in the closed interval ``[low, high]``."""
+    if not np.isfinite(value) or value < low or value > high:
+        raise ValueError(f"{name} must lie in [{low}, {high}], got {value!r}")
+    return float(value)
+
+
+def require_integer(value: int, name: str, minimum: int | None = None) -> int:
+    """Return *value* as ``int`` after checking type and optional minimum."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    out = int(value)
+    if minimum is not None and out < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {out}")
+    return out
+
+
+def require_array_shape(arr: np.ndarray, shape: Sequence[int], name: str) -> np.ndarray:
+    """Return *arr* if its shape matches *shape* exactly."""
+    if tuple(arr.shape) != tuple(shape):
+        raise ValueError(f"{name} must have shape {tuple(shape)}, got {arr.shape}")
+    return arr
+
+
+def require_non_negative_array(arr: np.ndarray, name: str) -> np.ndarray:
+    """Return *arr* if all entries are finite and non-negative."""
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} must contain only finite values")
+    if np.any(arr < 0):
+        raise ValueError(f"{name} must be element-wise non-negative")
+    return arr
+
+
+def as_float_array(values: Iterable[float], name: str) -> np.ndarray:
+    """Convert *values* to a 1-D float64 array, raising on failure."""
+    try:
+        arr = np.asarray(list(values) if not isinstance(values, np.ndarray) else values, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise TypeError(f"{name} must be convertible to a float array") from exc
+    return arr
+
+
+def as_int_array(values: Iterable[int], name: str) -> np.ndarray:
+    """Convert *values* to an int64 array, raising if lossy."""
+    arr = np.asarray(list(values) if not isinstance(values, np.ndarray) else values)
+    out = arr.astype(np.int64)
+    if not np.array_equal(out, arr):
+        raise ValueError(f"{name} must contain only integer values")
+    return out

@@ -1,0 +1,53 @@
+"""Delay estimation utilities.
+
+The simulator measures per-job delays exactly through the FIFO ledgers;
+this module adds the classical *indirect* estimates used when only
+queue-length telemetry is available (the relationship the paper invokes:
+"queueing delay is closely related to the average number of jobs in the
+queue"), plus helpers for comparing both.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["littles_law_delay", "delay_percentile_bound"]
+
+
+def littles_law_delay(mean_queue_length: float, arrival_rate: float) -> float:
+    """Little's law estimate ``W = L / lambda`` (slots).
+
+    Parameters
+    ----------
+    mean_queue_length:
+        Time-average number of jobs in the queue (``L``).
+    arrival_rate:
+        Average arrivals per slot (``lambda``).  Must be positive.
+    """
+    if arrival_rate <= 0:
+        raise ValueError(f"arrival_rate must be positive, got {arrival_rate}")
+    if mean_queue_length < 0:
+        raise ValueError(
+            f"mean_queue_length must be non-negative, got {mean_queue_length}"
+        )
+    return mean_queue_length / arrival_rate
+
+
+def delay_percentile_bound(
+    queue_bound: float, arrival_rate: float, service_floor: float
+) -> float:
+    """Worst-case delay implied by a hard queue bound (Theorem 1a).
+
+    If every queue is bounded by *queue_bound* jobs and at least
+    *service_floor* jobs are drained per slot whenever the queue is
+    non-empty, no job waits more than ``queue_bound / service_floor``
+    slots.  Used to translate the ``O(V)`` queue bound into an ``O(V)``
+    delay bound.
+    """
+    if queue_bound < 0:
+        raise ValueError(f"queue_bound must be non-negative, got {queue_bound}")
+    if service_floor <= 0:
+        raise ValueError(f"service_floor must be positive, got {service_floor}")
+    if arrival_rate < 0:
+        raise ValueError(f"arrival_rate must be non-negative, got {arrival_rate}")
+    return queue_bound / service_floor

@@ -1,0 +1,105 @@
+"""Statistical utilities for scheduler comparisons across seeds.
+
+A single-seed comparison can flatter either side; these helpers run a
+paired multi-seed comparison and report bootstrap confidence intervals
+on the difference, so claims like "GreFar saves energy over Always"
+carry uncertainty estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["PairedComparison", "bootstrap_mean_ci", "paired_comparison"]
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Outcome of a paired multi-seed A-vs-B comparison.
+
+    ``differences`` holds ``metric_a - metric_b`` per seed; negative
+    means A is lower (better, for costs).
+    """
+
+    metric: str
+    seeds: tuple
+    values_a: tuple
+    values_b: tuple
+    differences: tuple
+    mean_difference: float
+    ci_low: float
+    ci_high: float
+
+    @property
+    def a_wins(self) -> bool:
+        """True if the CI for (A - B) lies entirely below zero."""
+        return self.ci_high < 0.0
+
+    @property
+    def significant(self) -> bool:
+        """True if the CI excludes zero in either direction."""
+        return self.ci_high < 0.0 or self.ci_low > 0.0
+
+
+def bootstrap_mean_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    num_resamples: int = 2_000,
+    seed: int = 0,
+) -> tuple:
+    """Percentile-bootstrap confidence interval for the mean.
+
+    Returns ``(low, high)``.  With a single observation the interval
+    degenerates to that value.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("values must be non-empty")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must lie in (0, 1), got {confidence}")
+    if arr.size == 1:
+        return float(arr[0]), float(arr[0])
+    rng = np.random.default_rng(seed)
+    resamples = rng.choice(arr, size=(num_resamples, arr.size), replace=True)
+    means = resamples.mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return (
+        float(np.quantile(means, alpha)),
+        float(np.quantile(means, 1.0 - alpha)),
+    )
+
+
+def paired_comparison(
+    metric_fn: Callable[[int], tuple],
+    seeds: Sequence[int],
+    metric: str = "metric",
+    confidence: float = 0.95,
+) -> PairedComparison:
+    """Run ``metric_fn(seed) -> (value_a, value_b)`` over seeds and compare.
+
+    The same seed drives both sides (paired design), so scenario noise
+    cancels out of the difference.
+    """
+    if not seeds:
+        raise ValueError("seeds must be non-empty")
+    values_a = []
+    values_b = []
+    for seed in seeds:
+        a, b = metric_fn(seed)
+        values_a.append(float(a))
+        values_b.append(float(b))
+    differences = [a - b for a, b in zip(values_a, values_b)]
+    low, high = bootstrap_mean_ci(differences, confidence=confidence)
+    return PairedComparison(
+        metric=metric,
+        seeds=tuple(seeds),
+        values_a=tuple(values_a),
+        values_b=tuple(values_b),
+        differences=tuple(differences),
+        mean_difference=float(np.mean(differences)),
+        ci_low=low,
+        ci_high=high,
+    )

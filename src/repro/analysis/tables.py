@@ -1,0 +1,57 @@
+"""Plain-text table rendering for experiment output.
+
+Every experiment module prints its paper-style rows through
+:func:`format_table`, so the harness output looks the same everywhere
+and is trivially greppable in logs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table"]
+
+
+def _cell(value: object, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    precision: int = 3,
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width text table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Row values; floats are formatted to *precision* decimals.
+    precision:
+        Decimal places for float cells.
+    title:
+        Optional heading printed above the table.
+    """
+    str_rows = [[_cell(v, precision) for v in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in str_rows)) if str_rows else len(headers[c])
+        for c in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Energy/fairness/delay tradeoff curves across control parameters.
+
+The paper's central claim is a *tunable* tradeoff: sweeping the
+cost-delay parameter ``V`` trades energy for delay (Theorem 1), and
+sweeping the energy-fairness parameter ``beta`` trades energy for
+fairness.  These helpers run the sweeps and return tidy result rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.grefar import GreFarScheduler
+from repro.simulation.simulator import Simulator
+from repro.simulation.trace import Scenario
+
+__all__ = ["TradeoffPoint", "sweep_v", "sweep_beta"]
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One point of a control-parameter sweep."""
+
+    v: float
+    beta: float
+    avg_energy_cost: float
+    avg_fairness: float
+    avg_total_delay: float
+    avg_dc_delay: tuple
+    max_queue_length: float
+
+
+def _run_point(scenario: Scenario, v: float, beta: float, horizon: int | None) -> TradeoffPoint:
+    scheduler = GreFarScheduler(scenario.cluster, v=v, beta=beta)
+    result = Simulator(scenario, scheduler).run(horizon)
+    summary = result.summary
+    return TradeoffPoint(
+        v=v,
+        beta=beta,
+        avg_energy_cost=summary.avg_energy_cost,
+        avg_fairness=summary.avg_fairness,
+        avg_total_delay=summary.avg_total_delay,
+        avg_dc_delay=summary.avg_dc_delay,
+        max_queue_length=summary.max_queue_length,
+    )
+
+
+def sweep_v(
+    scenario: Scenario,
+    v_values: Sequence[float],
+    beta: float = 0.0,
+    horizon: int | None = None,
+) -> list:
+    """Run GreFar for each ``V``; return one :class:`TradeoffPoint` each."""
+    if not v_values:
+        raise ValueError("v_values must be non-empty")
+    return [_run_point(scenario, v, beta, horizon) for v in v_values]
+
+
+def sweep_beta(
+    scenario: Scenario,
+    beta_values: Sequence[float],
+    v: float = 7.5,
+    horizon: int | None = None,
+) -> list:
+    """Run GreFar for each ``beta``; return one :class:`TradeoffPoint` each."""
+    if not beta_values:
+        raise ValueError("beta_values must be non-empty")
+    return [_run_point(scenario, v, beta, horizon) for beta in beta_values]

@@ -1,0 +1,233 @@
+"""Command-line interface for the GreFar reproduction.
+
+Usage (also available as ``python -m repro.cli``)::
+
+    repro list                                # schedulers & experiments
+    repro run --scheduler grefar --v 7.5 --beta 100 --horizon 500
+    repro compare --horizon 500               # GreFar vs every baseline
+    repro sweep-v --values 0.1,2.5,7.5,20     # the Fig. 2 sweep
+    repro experiment fig2 --horizon 2000      # regenerate a paper figure
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis import format_table
+from repro.analysis.tradeoff import sweep_v
+from repro.core.grefar import GreFarScheduler
+from repro.scenarios import paper_scenario
+from repro.schedulers import (
+    AlwaysScheduler,
+    PriceThresholdScheduler,
+    RandomRoutingScheduler,
+    RecedingHorizonScheduler,
+    RoundRobinScheduler,
+    TroughFillingScheduler,
+)
+from repro.simulation.simulator import Simulator
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = {
+    "table1": "repro.experiments.table1",
+    "fig1": "repro.experiments.fig1_trace",
+    "fig2": "repro.experiments.fig2_v_sweep",
+    "fig3": "repro.experiments.fig3_beta",
+    "fig4": "repro.experiments.fig4_vs_always",
+    "fig5": "repro.experiments.fig5_snapshot",
+    "work": "repro.experiments.work_distribution",
+    "theorem1": "repro.experiments.theorem1",
+    "surface": "repro.experiments.tradeoff_surface",
+    "convergence": "repro.experiments.convergence",
+    "delays": "repro.experiments.delay_distribution",
+}
+
+_SCHEDULERS = (
+    "grefar",
+    "always",
+    "threshold",
+    "random",
+    "roundrobin",
+    "trough",
+    "mpc",
+)
+
+
+def _build_scheduler(name: str, cluster, args) -> object:
+    if name == "grefar":
+        return GreFarScheduler(cluster, v=args.v, beta=args.beta)
+    if name == "always":
+        return AlwaysScheduler(cluster)
+    if name == "threshold":
+        return PriceThresholdScheduler(cluster, threshold=args.threshold)
+    if name == "random":
+        return RandomRoutingScheduler(cluster, seed=args.seed)
+    if name == "roundrobin":
+        return RoundRobinScheduler(cluster)
+    if name == "trough":
+        return TroughFillingScheduler(cluster)
+    if name == "mpc":
+        return RecedingHorizonScheduler(cluster)
+    raise ValueError(f"unknown scheduler {name!r}")
+
+
+def _summary_row(summary) -> tuple:
+    return (
+        summary.scheduler,
+        summary.avg_energy_cost,
+        summary.avg_fairness,
+        summary.avg_total_delay,
+        summary.max_queue_length,
+    )
+
+
+_SUMMARY_HEADERS = ["Scheduler", "Avg energy", "Avg fairness", "Avg delay", "Max queue"]
+
+
+def _cmd_list(args) -> int:
+    print("schedulers: " + ", ".join(_SCHEDULERS))
+    print("experiments: " + ", ".join(sorted(_EXPERIMENTS)))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    scenario = paper_scenario(horizon=args.horizon, seed=args.seed)
+    scheduler = _build_scheduler(args.scheduler, scenario.cluster, args)
+    result = Simulator(scenario, scheduler).run()
+    print(
+        format_table(
+            _SUMMARY_HEADERS,
+            [_summary_row(result.summary)],
+            precision=4,
+            title=f"{args.horizon}-slot run (seed {args.seed})",
+        )
+    )
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    scenario = paper_scenario(horizon=args.horizon, seed=args.seed)
+    cluster = scenario.cluster
+    schedulers = [
+        GreFarScheduler(cluster, v=args.v, beta=args.beta),
+        AlwaysScheduler(cluster),
+        TroughFillingScheduler(cluster),
+        RoundRobinScheduler(cluster),
+    ]
+    rows = []
+    for scheduler in schedulers:
+        result = Simulator(scenario, scheduler).run()
+        rows.append(_summary_row(result.summary))
+    print(
+        format_table(
+            _SUMMARY_HEADERS,
+            rows,
+            precision=4,
+            title=f"Scheduler comparison over {args.horizon} slots (seed {args.seed})",
+        )
+    )
+    return 0
+
+
+def _cmd_sweep_v(args) -> int:
+    values = [float(x) for x in args.values.split(",") if x]
+    if not values:
+        print("error: --values must list at least one V", file=sys.stderr)
+        return 2
+    scenario = paper_scenario(horizon=args.horizon, seed=args.seed)
+    points = sweep_v(scenario, values, beta=args.beta)
+    rows = [
+        (f"{p.v:g}", p.avg_energy_cost, p.avg_total_delay, p.max_queue_length)
+        for p in points
+    ]
+    print(
+        format_table(
+            ["V", "Avg energy", "Avg delay", "Max queue"],
+            rows,
+            title=f"V sweep over {args.horizon} slots (beta={args.beta:g})",
+        )
+    )
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    module_path = _EXPERIMENTS.get(args.name)
+    if module_path is None:
+        print(
+            f"error: unknown experiment {args.name!r}; choose from "
+            f"{sorted(_EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
+    import importlib
+
+    module = importlib.import_module(module_path)
+    defaults = {"theorem1": 240, "fig1": 72, "surface": 600, "convergence": 240, "delays": 800}
+    if args.name == "fig5":
+        module.main(seed=args.seed)
+    else:
+        module.main(
+            horizon=args.horizon or defaults.get(args.name, 2000), seed=args.seed
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GreFar (ICDCS 2012) reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list schedulers and experiments")
+
+    run = sub.add_parser("run", help="run one scheduler on the paper scenario")
+    run.add_argument("--scheduler", choices=_SCHEDULERS, default="grefar")
+    run.add_argument("--v", type=float, default=7.5, help="cost-delay parameter V")
+    run.add_argument("--beta", type=float, default=0.0, help="energy-fairness beta")
+    run.add_argument("--threshold", type=float, default=0.4)
+    run.add_argument("--horizon", type=int, default=500)
+    run.add_argument("--seed", type=int, default=0)
+
+    compare = sub.add_parser("compare", help="GreFar versus the baselines")
+    compare.add_argument("--v", type=float, default=7.5)
+    compare.add_argument("--beta", type=float, default=100.0)
+    compare.add_argument("--horizon", type=int, default=500)
+    compare.add_argument("--seed", type=int, default=0)
+
+    sweep = sub.add_parser("sweep-v", help="sweep the cost-delay parameter")
+    sweep.add_argument("--values", default="0.1,2.5,7.5,20")
+    sweep.add_argument("--beta", type=float, default=0.0)
+    sweep.add_argument("--horizon", type=int, default=500)
+    sweep.add_argument("--seed", type=int, default=0)
+
+    exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    exp.add_argument("name", help=f"one of {sorted(_EXPERIMENTS)}")
+    exp.add_argument("--horizon", type=int, default=None)
+    exp.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "run": _cmd_run,
+    "compare": _cmd_compare,
+    "sweep-v": _cmd_sweep_v,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""Core: the GreFar algorithm, its objective, and Theorem 1 machinery."""
+
+from repro.core.bounds import TheoremConstants
+from repro.core.constraints import parallelism_service_bounds
+from repro.core.grefar import GreFarScheduler
+from repro.core.objective import CostModel, SlotCost
+from repro.core.slackness import SlacknessReport, check_slackness
+
+__all__ = [
+    "CostModel",
+    "GreFarScheduler",
+    "SlacknessReport",
+    "SlotCost",
+    "TheoremConstants",
+    "check_slackness",
+    "parallelism_service_bounds",
+]

@@ -1,0 +1,149 @@
+"""Admission control (Section V's overload remedy).
+
+The slackness conditions require the plant to cover the offered load;
+the paper notes that "in the worst case where the data center is
+overloaded, admission control techniques can be applied to complement
+our scheme."  This module provides scheduler-side admission policies
+the simulator applies to each slot's arrivals *before* they join the
+central queues.  Rejected jobs are counted, never silently lost.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._validation import require_positive
+from repro.model.cluster import Cluster
+from repro.model.queues import QueueNetwork
+
+__all__ = [
+    "AdmissionPolicy",
+    "AdmitAll",
+    "BacklogCapAdmission",
+    "AccountQuotaAdmission",
+]
+
+
+class AdmissionPolicy(ABC):
+    """Decides how many of each slot's arriving jobs are admitted."""
+
+    @abstractmethod
+    def admit(
+        self,
+        t: int,
+        arrivals: np.ndarray,
+        queues: QueueNetwork,
+        cluster: Cluster,
+    ) -> np.ndarray:
+        """Return the admitted arrival vector (element-wise ``<= arrivals``)."""
+
+    def reset(self) -> None:
+        """Clear any internal state before a fresh run."""
+
+
+@dataclass(frozen=True)
+class AdmitAll(AdmissionPolicy):
+    """The no-op policy: every arriving job is admitted."""
+
+    def admit(self, t, arrivals, queues, cluster) -> np.ndarray:
+        return np.asarray(arrivals, dtype=np.float64).copy()
+
+
+class BacklogCapAdmission(AdmissionPolicy):
+    """Reject work once the total queued work exceeds a cap.
+
+    New arrivals are admitted only up to the room left under
+    ``max_backlog_work``; excess jobs are rejected largest-demand-first
+    (rejecting one big job preserves more small ones).
+
+    Parameters
+    ----------
+    max_backlog_work:
+        Systemwide backlog budget in work units.
+    """
+
+    def __init__(self, max_backlog_work: float) -> None:
+        require_positive(max_backlog_work, "max_backlog_work")
+        self.max_backlog_work = float(max_backlog_work)
+
+    def admit(self, t, arrivals, queues, cluster) -> np.ndarray:
+        admitted = np.asarray(arrivals, dtype=np.float64).copy()
+        demands = cluster.demands
+        room = self.max_backlog_work - queues.backlog_work()
+        offered = float(admitted @ demands)
+        if offered <= room:
+            return admitted
+        # Reject biggest jobs first until the admitted work fits.
+        order = np.argsort(-demands)
+        excess = offered - max(room, 0.0)
+        for j in order:
+            while excess > 1e-12 and admitted[j] >= 1:
+                admitted[j] -= 1
+                excess -= demands[j]
+            if excess <= 1e-12:
+                break
+        return np.clip(admitted, 0.0, None)
+
+
+class AccountQuotaAdmission(AdmissionPolicy):
+    """Token-bucket work quotas per account.
+
+    Each account accrues ``rate_m`` units of admission credit per slot
+    (up to ``burst`` slots' worth); arriving work beyond the available
+    credit is rejected.  With rates proportional to the fairness shares
+    this enforces the 40/30/15/15 targets at the door rather than in
+    the scheduler.
+
+    Parameters
+    ----------
+    cluster:
+        Supplies the account structure.
+    rates:
+        Length-``M`` admitted-work-per-slot rates.
+    burst:
+        Bucket depth in slots (default 24: a day's credit can bank up).
+    """
+
+    def __init__(self, cluster: Cluster, rates, burst: float = 24.0) -> None:
+        rates = np.asarray(rates, dtype=np.float64)
+        if rates.shape != (cluster.num_accounts,):
+            raise ValueError(
+                f"rates must have length {cluster.num_accounts}, got {rates.shape}"
+            )
+        if np.any(rates < 0):
+            raise ValueError("rates must be non-negative")
+        require_positive(burst, "burst")
+        self._rates = rates
+        self._burst = float(burst)
+        self._credit = rates * burst
+        self._initial = self._credit.copy()
+
+    def reset(self) -> None:
+        self._credit = self._initial.copy()
+
+    def admit(self, t, arrivals, queues, cluster) -> np.ndarray:
+        admitted = np.asarray(arrivals, dtype=np.float64).copy()
+        demands = cluster.demands
+        self._credit = np.minimum(
+            self._credit + self._rates, self._rates * self._burst
+        )
+        for m in range(cluster.num_accounts):
+            types = [j for j, jt in enumerate(cluster.job_types) if jt.account == m]
+            offered = float(sum(admitted[j] * demands[j] for j in types))
+            if offered <= self._credit[m]:
+                self._credit[m] -= offered
+                continue
+            # Reject this account's largest jobs until within credit.
+            excess = offered - self._credit[m]
+            for j in sorted(types, key=lambda jj: -demands[jj]):
+                while excess > 1e-12 and admitted[j] >= 1:
+                    admitted[j] -= 1
+                    excess -= demands[j]
+                if excess <= 1e-12:
+                    break
+            used = float(sum(admitted[j] * demands[j] for j in types))
+            self._credit[m] = max(self._credit[m] - used, 0.0)
+        return np.clip(admitted, 0.0, None)

@@ -1,0 +1,144 @@
+"""Theorem 1 constants and bounds.
+
+This module computes the finite constants appearing in the paper's
+analysis (appendix eqs. (30), (36), (39)-(42)) from the boundedness
+parameters of a scenario, and exposes the two guarantees:
+
+* **Queue bound** (23): ``Q_j(t), q_ij(t) <= V C3 / delta`` for all t;
+* **Cost bound** (24): ``g* <= (1/R) sum_r G*_r + (B + D(T-1)) / V``.
+
+The constants are worst-case (they use the eq. (1)/(4)/(5) bounds and a
+price cap), so the measured queue lengths and cost gaps in the
+verification benchmarks should sit well inside them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro._validation import as_float_array, require_non_negative, require_positive
+from repro.model.cluster import Cluster
+
+__all__ = ["TheoremConstants"]
+
+
+@dataclass(frozen=True)
+class TheoremConstants:
+    """The finite constants of Theorem 1 for one scenario.
+
+    Attributes
+    ----------
+    b_const:
+        ``B`` of eq. (30): bounds the quadratic part of the one-step
+        Lyapunov drift.
+    d_const:
+        ``D`` of eq. (36): bounds the drift contributed by queue-length
+        changes within a lookahead frame.
+    q_max_diff:
+        ``q^max`` — the largest possible one-slot change of any queue.
+    g_max, g_min:
+        Bounds on the instantaneous cost ``g(t)``.
+    """
+
+    b_const: float
+    d_const: float
+    q_max_diff: float
+    g_max: float
+    g_min: float
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_scenario(
+        cls,
+        cluster: Cluster,
+        max_arrivals: Sequence[float] | None = None,
+        price_cap: float = 1.0,
+        beta: float = 0.0,
+    ) -> "TheoremConstants":
+        """Derive the constants from a cluster and boundedness parameters.
+
+        Parameters
+        ----------
+        cluster:
+            Supplies ``r_ij^max``, ``h_ij^max``, plant sizes and fair
+            shares.
+        max_arrivals:
+            Per-type arrival caps ``a_j^max``; defaults to each job
+            type's ``max_arrivals`` field.
+        price_cap:
+            Upper bound on every electricity price ``phi_i(t)``.
+        beta:
+            Energy-fairness parameter (enters through ``g_max``).
+        """
+        require_positive(price_cap, "price_cap")
+        require_non_negative(beta, "beta")
+        if max_arrivals is None:
+            a_max = np.array([jt.max_arrivals for jt in cluster.job_types], dtype=float)
+        else:
+            a_max = as_float_array(max_arrivals, "max_arrivals")
+            if a_max.shape != (cluster.num_job_types,):
+                raise ValueError(
+                    f"max_arrivals must have length {cluster.num_job_types}"
+                )
+
+        r_max = cluster.max_route_matrix()
+        h_max = cluster.max_service_matrix()
+        elig = cluster.eligibility_matrix()
+
+        route_in = r_max.sum(axis=0)  # sum_{i in D_j} r_ij^max per type
+        # One-step change bounds (appendix, below eq. (35)).
+        front_diff = np.maximum(a_max, route_in)
+        dc_diff = np.where(elig, np.maximum(r_max, h_max), 0.0)
+        q_max_diff = float(max(front_diff.max(initial=0.0), dc_diff.max(initial=0.0)))
+
+        # B of eq. (30): standard drift bound from Q(t+1) = max[Q-mu,0]+A:
+        # Q^2 grows by at most mu^2 + A^2 + 2Q(A - mu).
+        b_const = 0.5 * float(np.sum(route_in**2 + a_max**2))
+        b_const += 0.5 * float(np.sum(h_max[elig] ** 2 + r_max[elig] ** 2))
+
+        # D of eq. (36), evaluated at the boundedness caps.
+        d_const = 0.5 * float(np.sum(front_diff**2))
+        d_const += 0.5 * float(np.sum(dc_diff[elig] ** 2))
+
+        # Cost range: e(t) in [0, price_cap * total busy power];
+        # f(t) in [f_min, 0] for the quadratic score with ratios in [0,1].
+        plant = np.stack([dc.max_servers for dc in cluster.datacenters])
+        e_max = price_cap * float(np.sum(plant @ cluster.active_powers))
+        shares = cluster.fair_shares
+        f_min = -float(np.sum(np.maximum(shares, 1.0 - shares) ** 2))
+        g_max = e_max - beta * f_min
+        g_min = 0.0
+
+        return cls(
+            b_const=b_const,
+            d_const=d_const,
+            q_max_diff=q_max_diff,
+            g_max=g_max,
+            g_min=g_min,
+        )
+
+    # ------------------------------------------------------------------
+    def c3(self, v: float, delta: float) -> float:
+        """The ``C3`` constant of eq. (39) for given ``V`` and slackness."""
+        require_positive(delta, "delta")
+        if v <= 0:
+            raise ValueError(f"v must be positive for the queue bound, got {v}")
+        d1 = (self.b_const / v + self.g_max - self.g_min) ** 2
+        d2 = 2.0 * self.d_const * delta**2 / v**2
+        d3 = 2.0 * self.q_max_diff * delta / v * np.sqrt(d1)
+        return float(np.sqrt(d1 + d2 + d3))
+
+    def queue_bound(self, v: float, delta: float) -> float:
+        """Theorem 1a: every queue stays ``<= V C3 / delta`` (eq. 23)."""
+        return v * self.c3(v, delta) / delta
+
+    def cost_gap(self, v: float, lookahead: int = 1) -> float:
+        """Theorem 1b: the ``(B + D(T-1)) / V`` additive gap (eq. 24)."""
+        if v <= 0:
+            raise ValueError(f"v must be positive for the cost gap, got {v}")
+        if lookahead < 1:
+            raise ValueError(f"lookahead must be >= 1, got {lookahead}")
+        return (self.b_const + self.d_const * (lookahead - 1)) / v

@@ -1,0 +1,35 @@
+"""Experiment harness: one module per paper table/figure plus Theorem 1.
+
+Each module exposes ``run(...) -> <ResultDataclass>`` (programmatic use)
+and ``main(...)`` (prints the paper-style rows).  The benchmark suite in
+``benchmarks/`` regenerates every experiment and asserts the expected
+shapes from DESIGN.md.
+"""
+
+from repro.experiments import (
+    convergence,
+    delay_distribution,
+    fig1_trace,
+    fig2_v_sweep,
+    fig3_beta,
+    fig4_vs_always,
+    fig5_snapshot,
+    table1,
+    theorem1,
+    tradeoff_surface,
+    work_distribution,
+)
+
+__all__ = [
+    "convergence",
+    "delay_distribution",
+    "fig1_trace",
+    "fig2_v_sweep",
+    "fig3_beta",
+    "fig4_vs_always",
+    "fig5_snapshot",
+    "table1",
+    "theorem1",
+    "tradeoff_surface",
+    "work_distribution",
+]

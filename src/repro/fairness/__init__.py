@@ -1,0 +1,15 @@
+"""Fairness functions (eq. 3 and the alternates allowed by footnote 5)."""
+
+from repro.fairness.alpha_fair import AlphaFairness
+from repro.fairness.base import FairnessFunction
+from repro.fairness.jain import JainFairness
+from repro.fairness.maxmin import MaxMinFairness
+from repro.fairness.quadratic import QuadraticFairness
+
+__all__ = [
+    "AlphaFairness",
+    "FairnessFunction",
+    "JainFairness",
+    "MaxMinFairness",
+    "QuadraticFairness",
+]

@@ -1,0 +1,74 @@
+"""Fairness function interface.
+
+The paper scores fairness with the quadratic deviation function of
+eq. (3), but footnote 5 notes the analysis applies to other fairness
+functions as well.  This module defines the common interface; concrete
+functions live in sibling modules.
+
+A fairness function maps the per-account resource allocation vector
+``r_m(t)`` (here called *allocation* to avoid clashing with routing
+``r_ij``), the total available resource ``R(t)`` and the target shares
+``gamma_m`` to a scalar score.  Larger is fairer.  All concrete
+implementations are **concave** in the allocation, which keeps the
+per-slot GreFar problem (minimizing ``V*(e - beta*f) + queue terms``)
+convex.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["FairnessFunction"]
+
+
+class FairnessFunction(ABC):
+    """Interface for concave fairness scores over account allocations."""
+
+    @abstractmethod
+    def score(
+        self,
+        allocation: np.ndarray,
+        total_resource: float,
+        shares: np.ndarray,
+    ) -> float:
+        """Fairness score ``f(t)`` — larger is fairer.
+
+        Parameters
+        ----------
+        allocation:
+            Length-``M`` vector of resource (work) given to each account
+            this slot.
+        total_resource:
+            ``R(t) = sum_ik n_ik(t) s_k``, the total available resource.
+        shares:
+            Length-``M`` vector of target shares ``gamma_m``.
+        """
+
+    @abstractmethod
+    def gradient(
+        self,
+        allocation: np.ndarray,
+        total_resource: float,
+        shares: np.ndarray,
+    ) -> np.ndarray:
+        """(Sub)gradient of :meth:`score` with respect to *allocation*."""
+
+    # ------------------------------------------------------------------
+    def ideal_allocation(self, total_resource: float, shares: np.ndarray) -> np.ndarray:
+        """The allocation that maximizes the score: ``gamma_m * R(t)``."""
+        return np.asarray(shares, dtype=np.float64) * float(total_resource)
+
+    def _check(self, allocation: np.ndarray, total_resource: float, shares: np.ndarray) -> tuple:
+        alloc = np.asarray(allocation, dtype=np.float64)
+        sh = np.asarray(shares, dtype=np.float64)
+        if alloc.shape != sh.shape:
+            raise ValueError(
+                f"allocation shape {alloc.shape} must match shares shape {sh.shape}"
+            )
+        if total_resource <= 0:
+            raise ValueError(f"total_resource must be positive, got {total_resource}")
+        if np.any(alloc < -1e-9):
+            raise ValueError("allocation must be non-negative")
+        return np.clip(alloc, 0.0, None), float(total_resource), sh

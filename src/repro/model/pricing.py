@@ -1,0 +1,144 @@
+"""Electricity pricing models: linear and convex (Section III-A2).
+
+The paper's base model charges ``phi_i(t)`` per unit of energy, but
+Section III-A2 notes the analysis also covers an electricity cost that
+is "an increasing and convex (or other) function of the energy
+consumption" — e.g. demand-charge tiers where marginal energy gets more
+expensive as a site draws more power.  This module provides:
+
+* :class:`LinearPricing` — the default ``cost = price * energy``;
+* :class:`TieredPricing` — piecewise-linear convex: energy above each
+  tier boundary is charged at ``price * multiplier_k`` with
+  non-decreasing multipliers.  Because the marginal cost curve stays a
+  non-decreasing step function, the closed-form greedy slot solver
+  remains *exact* under tiered pricing (the supply segments are simply
+  split at tier boundaries).
+
+All pricing models are convex in energy, keeping every per-slot
+optimization convex.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro._validation import require_non_negative
+
+__all__ = ["PricingModel", "LinearPricing", "TieredPricing"]
+
+_EPS = 1e-12
+
+
+class PricingModel(ABC):
+    """Maps (energy drawn, base price) to an electricity cost."""
+
+    @abstractmethod
+    def total_cost(self, energy: float, price: float) -> float:
+        """Total cost of drawing *energy* at base *price* this slot."""
+
+    @abstractmethod
+    def marginal_price(self, energy: float, price: float) -> float:
+        """Marginal cost of the next unit of energy at the given draw."""
+
+    @abstractmethod
+    def tiers(self, price: float) -> List[Tuple[float, float]]:
+        """The marginal-cost curve as ``[(energy_width, unit_cost), ...]``.
+
+        Each entry gives a tier's energy width (``inf`` for the last)
+        and the cost per unit energy inside it, in increasing order.
+        """
+
+
+@dataclass(frozen=True)
+class LinearPricing(PricingModel):
+    """The paper's base model: ``cost = price * energy``."""
+
+    def total_cost(self, energy: float, price: float) -> float:
+        require_non_negative(energy, "energy")
+        require_non_negative(price, "price")
+        return price * energy
+
+    def marginal_price(self, energy: float, price: float) -> float:
+        require_non_negative(energy, "energy")
+        return price
+
+    def tiers(self, price: float) -> List[Tuple[float, float]]:
+        return [(float("inf"), price)]
+
+
+@dataclass(frozen=True)
+class TieredPricing(PricingModel):
+    """Increasing-block (convex piecewise-linear) electricity pricing.
+
+    Parameters
+    ----------
+    boundaries:
+        Energy levels where the marginal multiplier steps up, strictly
+        increasing, e.g. ``(100.0, 250.0)``.
+    multipliers:
+        One multiplier per tier (``len(boundaries) + 1`` values),
+        non-decreasing, applied to the base price.  E.g.
+        ``(1.0, 1.5, 2.5)``: the first 100 energy units cost ``price``,
+        the next 150 cost ``1.5 * price``, everything beyond
+        ``2.5 * price``.
+    """
+
+    boundaries: tuple
+    multipliers: tuple
+
+    def __init__(self, boundaries: Sequence[float], multipliers: Sequence[float]) -> None:
+        bnd = tuple(float(b) for b in boundaries)
+        mul = tuple(float(m) for m in multipliers)
+        if len(mul) != len(bnd) + 1:
+            raise ValueError(
+                f"need {len(bnd) + 1} multipliers for {len(bnd)} boundaries, "
+                f"got {len(mul)}"
+            )
+        if any(b <= 0 for b in bnd):
+            raise ValueError("tier boundaries must be positive")
+        if any(b2 <= b1 for b1, b2 in zip(bnd, bnd[1:])):
+            raise ValueError("tier boundaries must be strictly increasing")
+        if any(m <= 0 for m in mul):
+            raise ValueError("multipliers must be positive")
+        if any(m2 < m1 for m1, m2 in zip(mul, mul[1:])):
+            raise ValueError(
+                "multipliers must be non-decreasing (convex pricing)"
+            )
+        object.__setattr__(self, "boundaries", bnd)
+        object.__setattr__(self, "multipliers", mul)
+
+    def tiers(self, price: float) -> List[Tuple[float, float]]:
+        require_non_negative(price, "price")
+        widths = []
+        prev = 0.0
+        for b in self.boundaries:
+            widths.append(b - prev)
+            prev = b
+        widths.append(float("inf"))
+        return [(w, price * m) for w, m in zip(widths, self.multipliers)]
+
+    def total_cost(self, energy: float, price: float) -> float:
+        require_non_negative(energy, "energy")
+        require_non_negative(price, "price")
+        remaining = energy
+        cost = 0.0
+        for width, unit in self.tiers(price):
+            take = min(remaining, width)
+            cost += take * unit
+            remaining -= take
+            if remaining <= _EPS:
+                break
+        return cost
+
+    def marginal_price(self, energy: float, price: float) -> float:
+        require_non_negative(energy, "energy")
+        level = energy
+        for width, unit in self.tiers(price):
+            if level <= width + _EPS:
+                return unit
+            level -= width
+        return price * self.multipliers[-1]

@@ -1,0 +1,74 @@
+"""Server classes: the hardware heterogeneity model of Section III-A.
+
+The paper characterizes each of the ``K`` server types by a processing
+speed ``s_k`` and an active power ``p_k`` (idle power is normalized to
+zero because scheduling only controls the busy/idle difference; see the
+discussion above eq. (2)).  The key derived quantity is the *energy per
+unit work* ``p_k / s_k``: GreFar preferentially sends work to server
+classes (and data centers) where ``price * p_k / s_k`` is low.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._validation import require_non_negative, require_positive
+
+__all__ = ["ServerClass"]
+
+
+@dataclass(frozen=True)
+class ServerClass:
+    """A homogeneous class of servers (one of the paper's ``K`` types).
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (e.g. ``"gen1"``).
+    speed:
+        Processing speed ``s_k`` in units of work per time slot, ``> 0``.
+    active_power:
+        Busy power ``p_k`` (net of idle power), ``> 0``.
+    idle_power:
+        Idle power ``p_k_underline``; the paper normalizes this to zero
+        without loss of generality and so do we by default.  It is kept
+        as an explicit field so that absolute (rather than differential)
+        energy accounting is possible.
+    """
+
+    name: str
+    speed: float
+    active_power: float
+    idle_power: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("ServerClass.name must be a non-empty string")
+        require_positive(self.speed, "speed")
+        require_positive(self.active_power, "active_power")
+        require_non_negative(self.idle_power, "idle_power")
+        if self.idle_power >= self.active_power:
+            raise ValueError(
+                "idle_power must be strictly less than active_power "
+                f"({self.idle_power} >= {self.active_power})"
+            )
+
+    @property
+    def energy_per_unit_work(self) -> float:
+        """Energy drawn per unit of work processed: ``p_k / s_k``.
+
+        Together with the local electricity price this determines the
+        marginal cost of serving one unit of work on this class, the
+        ``W`` constant discussed below Algorithm 1.
+        """
+        return self.active_power / self.speed
+
+    def work_capacity(self, count: float) -> float:
+        """Work that *count* servers of this class can process per slot."""
+        require_non_negative(count, "count")
+        return count * self.speed
+
+    def power_draw(self, busy_count: float) -> float:
+        """Differential power drawn by *busy_count* busy servers."""
+        require_non_negative(busy_count, "busy_count")
+        return busy_count * self.active_power

@@ -1,0 +1,96 @@
+"""Time-varying cluster state: ``x(t) = {n_i(t), phi_i(t)}`` for all sites.
+
+The paper makes *no* distributional assumption on the state process —
+it may be non-stationary and adversarial — and GreFar only ever observes
+the current slot's state.  :class:`ClusterState` is therefore a plain
+immutable snapshot; the stochastic generators live in
+:mod:`repro.workloads`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro._validation import require_non_negative_array
+from repro.model.cluster import Cluster
+
+__all__ = ["ClusterState"]
+
+
+@dataclass(frozen=True)
+class ClusterState:
+    """Snapshot of the data center states for one scheduling slot.
+
+    Parameters
+    ----------
+    availability:
+        ``(N, K)`` matrix: ``availability[i, k]`` is ``n_ik(t)``, the
+        number of class-``k`` servers available for batch work at site
+        ``i`` during the slot.
+    prices:
+        Length-``N`` vector of electricity prices ``phi_i(t)``.
+    """
+
+    availability: np.ndarray
+    prices: np.ndarray
+
+    def __init__(self, availability: np.ndarray, prices: Sequence[float]) -> None:
+        avail = np.asarray(availability, dtype=np.float64)
+        price = np.asarray(prices, dtype=np.float64)
+        if avail.ndim != 2:
+            raise ValueError(f"availability must be a 2-D (N, K) array, got ndim={avail.ndim}")
+        if price.ndim != 1:
+            raise ValueError(f"prices must be a 1-D length-N array, got ndim={price.ndim}")
+        if avail.shape[0] != price.shape[0]:
+            raise ValueError(
+                f"availability has {avail.shape[0]} sites but prices has {price.shape[0]}"
+            )
+        require_non_negative_array(avail, "availability")
+        require_non_negative_array(price, "prices")
+        avail = avail.copy()
+        price = price.copy()
+        avail.setflags(write=False)
+        price.setflags(write=False)
+        object.__setattr__(self, "availability", avail)
+        object.__setattr__(self, "prices", price)
+
+    @property
+    def num_datacenters(self) -> int:
+        """``N`` for this snapshot."""
+        return int(self.availability.shape[0])
+
+    @property
+    def num_server_classes(self) -> int:
+        """``K`` for this snapshot."""
+        return int(self.availability.shape[1])
+
+    def capacities(self, cluster: Cluster) -> np.ndarray:
+        """Per-site work capacity ``sum_k n_ik(t) * s_k`` (length ``N``)."""
+        self._check_dims(cluster)
+        return self.availability @ cluster.speeds
+
+    def total_resource(self, cluster: Cluster) -> float:
+        """``R(t) = sum_i sum_k n_ik(t) * s_k``: systemwide resource (eq. 3)."""
+        return float(np.sum(self.capacities(cluster)))
+
+    def validate_for(self, cluster: Cluster) -> "ClusterState":
+        """Check that the snapshot is feasible for *cluster* plant limits."""
+        self._check_dims(cluster)
+        for i, dc in enumerate(cluster.datacenters):
+            dc.validate_availability(self.availability[i])
+        return self
+
+    def _check_dims(self, cluster: Cluster) -> None:
+        if self.num_datacenters != cluster.num_datacenters:
+            raise ValueError(
+                f"state has {self.num_datacenters} sites, cluster has "
+                f"{cluster.num_datacenters}"
+            )
+        if self.num_server_classes != cluster.num_server_classes:
+            raise ValueError(
+                f"state has {self.num_server_classes} server classes, cluster has "
+                f"{cluster.num_server_classes}"
+            )

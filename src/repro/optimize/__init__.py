@@ -1,0 +1,28 @@
+"""Per-slot optimization backends for the GreFar objective (14).
+
+* :func:`solve_greedy` — exact closed-form solution for ``beta = 0``;
+* :func:`solve_lp` — scipy LP reference for ``beta = 0``;
+* :func:`solve_qp` — convex (SLSQP) solver for any ``beta >= 0``;
+* :func:`solve_projected_gradient` — dependency-light alternative.
+
+All backends consume a :class:`SlotServiceProblem` and return the
+service matrix ``h``; optimal busy counts follow from the site
+:class:`SupplyCurve` (cheapest-servers-first is always optimal).
+"""
+
+from repro.optimize.capacity import SupplyCurve, build_supply_curves
+from repro.optimize.greedy import solve_greedy
+from repro.optimize.lp import solve_lp
+from repro.optimize.projected_gradient import solve_projected_gradient
+from repro.optimize.qp import solve_qp
+from repro.optimize.slot_problem import SlotServiceProblem
+
+__all__ = [
+    "SlotServiceProblem",
+    "SupplyCurve",
+    "build_supply_curves",
+    "solve_greedy",
+    "solve_lp",
+    "solve_projected_gradient",
+    "solve_qp",
+]

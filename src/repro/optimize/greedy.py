@@ -1,0 +1,83 @@
+"""Closed-form greedy solver for the beta = 0 slot problem.
+
+Without fairness the service subproblem decomposes per data center into
+a fractional matching of *demand segments* (job types, valued at
+``q_ij / d_j`` per unit work) against *supply segments* (server
+classes, costing ``V phi_i p_k / s_k`` per unit work).  Pairing the
+most valuable remaining demand with the cheapest remaining supply while
+value strictly exceeds cost solves the LP exactly — this is the
+threshold rule the paper describes below Algorithm 1 ("jobs are
+processed only when ... electricity prices are sufficiently low",
+with ``W = p_k / s_k``).
+
+The supply side comes from
+:meth:`SlotServiceProblem.marginal_cost_segments`, which merges the
+server-efficiency curve with the electricity pricing tiers — so the
+greedy stays exact under any piecewise-linear convex pricing
+(Section III-A2), not just the flat per-slot price.
+
+The solver runs in ``O(N (J log J + K log K))`` per slot and is the
+default backend for GreFar with ``beta = 0``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optimize.slot_problem import SlotServiceProblem
+
+__all__ = ["solve_greedy"]
+
+_EPS = 1e-12
+
+
+def solve_greedy(problem: SlotServiceProblem) -> np.ndarray:
+    """Exactly minimize the beta = 0 slot objective; return ``h``.
+
+    Raises ``ValueError`` if the problem carries ``beta > 0`` — the
+    greedy exchange argument needs a linear objective; use the QP
+    backend for fairness-aware slots.
+    """
+    if problem.beta > 0:
+        raise ValueError(
+            "solve_greedy is exact only for beta = 0; use solve_qp for beta > 0"
+        )
+    cluster = problem.cluster
+    n, j_count = problem.h_upper.shape
+    demands = cluster.demands
+    h = np.zeros((n, j_count))
+
+    for i in range(n):
+        # Demand side: value per unit work, most valuable first.
+        values = problem.queue_weights[i] / demands
+        work_wanted = problem.h_upper[i] * demands
+        demand_order = np.argsort(-values, kind="stable")
+        # Supply side: merged (servers x pricing tiers) marginal-cost
+        # curve, cheapest work first.
+        segments = problem.marginal_cost_segments(i)
+        seg_idx = 0
+        seg_remaining = segments[0][0] if segments else 0.0
+
+        for j in demand_order:
+            want = work_wanted[j]
+            if want <= _EPS or values[j] <= _EPS:
+                continue
+            while want > _EPS and seg_idx < len(segments):
+                unit_cost = problem.v * segments[seg_idx][1]
+                if values[j] <= unit_cost + _EPS:
+                    # Cheapest remaining supply is already too expensive
+                    # for this (and all less valuable) demand.
+                    break
+                take = min(want, seg_remaining)
+                h[i, j] += take / demands[j]
+                want -= take
+                seg_remaining -= take
+                if seg_remaining <= _EPS:
+                    seg_idx += 1
+                    seg_remaining = (
+                        segments[seg_idx][0] if seg_idx < len(segments) else 0.0
+                    )
+            if seg_idx >= len(segments):
+                break
+        np.minimum(h[i], problem.h_upper[i], out=h[i])
+    return h

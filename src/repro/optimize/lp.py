@@ -1,0 +1,79 @@
+"""Reference LP backend for the beta = 0 slot problem (scipy.linprog).
+
+Solves the exact linear program
+
+.. math::
+
+   \\min_{h, b}\\; V \\sum_i \\phi_i \\sum_k p_k b_{ik} - \\sum_{ij} q_{ij} h_{ij}
+
+subject to per-site capacity coupling (eq. 11) and box bounds.  Slower
+than :func:`repro.optimize.greedy.solve_greedy` but makes no structural
+assumptions; it exists as an independently-derived cross-check (the
+property tests assert both backends agree) and as the building block of
+the T-step lookahead scheduler.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.optimize.slot_problem import SlotServiceProblem
+
+__all__ = ["solve_lp"]
+
+
+def solve_lp(problem: SlotServiceProblem) -> np.ndarray:
+    """Solve the beta = 0 slot problem with scipy's HiGHS LP; return ``h``."""
+    if problem.beta > 0:
+        raise ValueError("solve_lp handles beta = 0 only; use solve_qp for beta > 0")
+    cluster = problem.cluster
+    state = problem.state
+    n = cluster.num_datacenters
+    j_count = cluster.num_job_types
+    k_count = cluster.num_server_classes
+    demands = cluster.demands
+    speeds = cluster.speeds
+    powers = cluster.active_powers
+
+    num_h = n * j_count
+    num_b = n * k_count
+
+    # Variable layout: [h_00..h_0J, h_10.., ..., b_00..b_0K, ...]
+    c = np.concatenate(
+        [
+            -problem.queue_weights.ravel(),
+            problem.v * np.repeat(state.prices, k_count) * np.tile(powers, n),
+        ]
+    )
+
+    # Capacity coupling: sum_j d_j h_ij - sum_k s_k b_ik <= 0 per site.
+    rows = []
+    limits = []
+    for i in range(n):
+        row = np.zeros(num_h + num_b)
+        row[i * j_count : (i + 1) * j_count] = demands
+        row[num_h + i * k_count : num_h + (i + 1) * k_count] = -speeds
+        rows.append(row)
+        limits.append(0.0)
+    # Memory constraint (footnote 3): sum_j mem_j h_ij <= memcap_i.
+    mem_demands = cluster.memory_demands
+    mem_caps = cluster.memory_capacities
+    if np.any(mem_demands > 0):
+        for i in range(n):
+            if not np.isfinite(mem_caps[i]):
+                continue
+            row = np.zeros(num_h + num_b)
+            row[i * j_count : (i + 1) * j_count] = mem_demands
+            rows.append(row)
+            limits.append(float(mem_caps[i]))
+    a_ub = np.array(rows)
+    b_ub = np.array(limits)
+
+    bounds = [(0.0, float(ub)) for ub in problem.h_upper.ravel()]
+    bounds += [(0.0, float(avail)) for avail in state.availability.ravel()]
+
+    result = linprog(c, A_ub=a_ub, b_ub=b_ub, bounds=bounds, method="highs")
+    if not result.success:
+        raise RuntimeError(f"slot LP failed: {result.message}")
+    return result.x[:num_h].reshape(n, j_count)

@@ -1,0 +1,257 @@
+"""The per-slot service subproblem shared by all solver backends.
+
+GreFar's slot objective (14) separates into a *routing* part (linear in
+``r_ij``, solved in closed form by the scheduler) and a *service* part
+in ``(h, b)``:
+
+.. math::
+
+   \\min_{h, b}\\; V\\, e(t) - V\\beta\\, f(t) - \\sum_{ij} q_{ij}(t)\\, h_{ij}(t)
+
+subject to eq. (11) and the box bounds.  :class:`SlotServiceProblem`
+captures one instance of this problem — the queue weights, price and
+availability snapshot, upper bounds and fairness model — and offers the
+objective/feasibility evaluations every backend and every cross-check
+test needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.fairness.base import FairnessFunction
+from repro.fairness.quadratic import QuadraticFairness
+from repro.model.action import Action
+from repro.model.cluster import Cluster
+from repro.model.pricing import LinearPricing, PricingModel
+from repro.model.state import ClusterState
+from repro.optimize.capacity import SupplyCurve, build_supply_curves
+
+__all__ = ["SlotServiceProblem"]
+
+_EPS = 1e-9
+
+
+@dataclass
+class SlotServiceProblem:
+    """One slot's service optimization instance.
+
+    Parameters
+    ----------
+    cluster, state:
+        System description and the slot snapshot ``x(t)``.
+    queue_weights:
+        ``(N, J)`` matrix of data center queue lengths ``q_ij(t)`` —
+        the linear reward for serving.
+    h_upper:
+        ``(N, J)`` upper bounds on ``h_ij`` (the eq. (5) bound,
+        intersected with queue contents when running physically).
+    v:
+        Cost-delay parameter ``V >= 0``.
+    beta:
+        Energy-fairness parameter ``beta >= 0``.
+    fairness:
+        Fairness function ``f``; defaults to the paper's quadratic.
+    pricing:
+        Electricity pricing model (Section III-A2); defaults to the
+        paper's linear ``cost = price * energy``.  Any convex pricing
+        keeps the slot problem convex; piecewise-linear pricing (linear
+        or tiered) keeps the greedy backend exact.
+    """
+
+    cluster: Cluster
+    state: ClusterState
+    queue_weights: np.ndarray
+    h_upper: np.ndarray
+    v: float
+    beta: float = 0.0
+    fairness: FairnessFunction = field(default_factory=QuadraticFairness)
+    pricing: PricingModel = field(default_factory=LinearPricing)
+
+    def __post_init__(self) -> None:
+        n, j = self.cluster.num_datacenters, self.cluster.num_job_types
+        self.queue_weights = np.asarray(self.queue_weights, dtype=np.float64)
+        self.h_upper = np.asarray(self.h_upper, dtype=np.float64)
+        if self.queue_weights.shape != (n, j):
+            raise ValueError(
+                f"queue_weights must have shape {(n, j)}, got {self.queue_weights.shape}"
+            )
+        if self.h_upper.shape != (n, j):
+            raise ValueError(
+                f"h_upper must have shape {(n, j)}, got {self.h_upper.shape}"
+            )
+        if self.v < 0:
+            raise ValueError(f"v must be non-negative, got {self.v}")
+        if self.beta < 0:
+            raise ValueError(f"beta must be non-negative, got {self.beta}")
+        elig = self.cluster.eligibility_matrix()
+        self.h_upper = np.where(elig, np.clip(self.h_upper, 0.0, None), 0.0)
+        self._curves: List[SupplyCurve] = build_supply_curves(self.cluster, self.state)
+        self._total_resource = self.state.total_resource(self.cluster)
+
+    # ------------------------------------------------------------------
+    # Static views
+    # ------------------------------------------------------------------
+    @property
+    def supply_curves(self) -> List[SupplyCurve]:
+        """Per-site minimum-power supply curves for this slot."""
+        return self._curves
+
+    @property
+    def total_resource(self) -> float:
+        """``R(t)`` for the fairness normalization."""
+        return self._total_resource
+
+    def site_capacity(self, i: int) -> float:
+        """Work capacity of site ``i`` this slot."""
+        return self._curves[i].total_capacity
+
+    def site_capacities(self) -> np.ndarray:
+        """All site capacities (length ``N``)."""
+        return np.array([c.total_capacity for c in self._curves])
+
+    # ------------------------------------------------------------------
+    # Objective pieces
+    # ------------------------------------------------------------------
+    def loads(self, h: np.ndarray) -> np.ndarray:
+        """Work each site must process for service matrix *h*."""
+        return h @ self.cluster.demands
+
+    def memory_used(self, h: np.ndarray) -> np.ndarray:
+        """Memory held per site by the jobs *h* processes (footnote 3)."""
+        return h @ self.cluster.memory_demands
+
+    def energy_cost(self, h: np.ndarray) -> float:
+        """Minimum electricity cost ``e(t)`` to serve *h*.
+
+        Uses the supply-curve minimum power per site and the configured
+        pricing model; cheapest-servers-first remains optimal for any
+        increasing pricing because cost is increasing in energy.
+        """
+        loads = self.loads(h)
+        return float(
+            sum(
+                self.pricing.total_cost(
+                    self._curves[i].min_power(loads[i]), self.state.prices[i]
+                )
+                for i in range(len(self._curves))
+            )
+        )
+
+    def marginal_cost_segments(self, i: int) -> List[tuple]:
+        """Merged marginal-cost curve of site *i*: ``[(work, cost/work)]``.
+
+        Walks the supply segments (work capacity at power-per-work
+        ``w``) and the pricing tiers (energy width at cost-per-energy
+        ``u``) together: a stretch of work is charged ``w * u`` per unit
+        until either the supply segment or the tier is exhausted.  Both
+        component curves are non-decreasing, so the merged curve is a
+        valid convex marginal-cost curve and greedy matching against it
+        is exact.
+        """
+        segments = []
+        tiers = list(self.pricing.tiers(self.state.prices[i]))
+        tier_idx = 0
+        tier_energy_left = tiers[0][0] if tiers else float("inf")
+        for cap, unit_power in self._curves[i].marginal_segments():
+            work_left = cap
+            while work_left > _EPS and tier_idx < len(tiers):
+                unit_cost = tiers[tier_idx][1]
+                if unit_power <= _EPS:
+                    work_in_tier = work_left
+                else:
+                    work_in_tier = min(work_left, tier_energy_left / unit_power)
+                if work_in_tier > _EPS:
+                    segments.append((work_in_tier, unit_power * unit_cost))
+                work_left -= work_in_tier
+                tier_energy_left -= work_in_tier * unit_power
+                if tier_energy_left <= _EPS:
+                    tier_idx += 1
+                    tier_energy_left = (
+                        tiers[tier_idx][0] if tier_idx < len(tiers) else 0.0
+                    )
+        return segments
+
+    def account_work(self, h: np.ndarray) -> np.ndarray:
+        """Per-account work ``r_m(t)`` implied by service matrix *h*."""
+        per_type = h.sum(axis=0) * self.cluster.demands
+        acc = np.zeros(self.cluster.num_accounts)
+        np.add.at(acc, self.cluster.account_of_type, per_type)
+        return acc
+
+    def fairness_score(self, h: np.ndarray) -> float:
+        """Fairness ``f(t)`` of the allocation implied by *h*."""
+        return self.fairness.score(
+            self.account_work(h), self._total_resource, self.cluster.fair_shares
+        )
+
+    def objective(self, h: np.ndarray) -> float:
+        """The slot objective ``V e - V beta f - sum q h`` at *h*.
+
+        Uses the optimal (supply-curve) busy counts for the implied
+        loads, which is always optimal because ``b`` only appears in the
+        energy term.
+        """
+        value = self.v * self.energy_cost(h)
+        if self.beta > 0:
+            value -= self.v * self.beta * self.fairness_score(h)
+        value -= float(np.sum(self.queue_weights * h))
+        return value
+
+    def busy_for(self, h: np.ndarray) -> np.ndarray:
+        """Optimal busy-server matrix ``b`` for service matrix *h*."""
+        loads = self.loads(h)
+        speeds = self.cluster.speeds
+        k = self.cluster.num_server_classes
+        return np.stack(
+            [
+                self._curves[i].busy_counts(loads[i], k, speeds)
+                for i in range(len(self._curves))
+            ]
+        )
+
+    def action_for(self, h: np.ndarray, route: np.ndarray | None = None) -> Action:
+        """Package a service matrix (plus optional routing) as an action."""
+        if route is None:
+            route = np.zeros_like(h)
+        return Action(route, h, self.busy_for(h))
+
+    # ------------------------------------------------------------------
+    # Feasibility
+    # ------------------------------------------------------------------
+    def is_feasible(self, h: np.ndarray, tol: float = 1e-6) -> bool:
+        """Check box, eligibility, capacity and memory constraints for *h*."""
+        if h.shape != self.h_upper.shape:
+            return False
+        if np.any(h < -tol) or np.any(h > self.h_upper + tol):
+            return False
+        loads = self.loads(h)
+        caps = self.site_capacities()
+        if not np.all(loads <= caps * (1.0 + tol) + tol):
+            return False
+        mem_caps = self.cluster.memory_capacities
+        if np.any(np.isfinite(mem_caps)):
+            used = self.memory_used(h)
+            if not np.all(used <= mem_caps * (1.0 + tol) + tol):
+                return False
+        return True
+
+    def clip_feasible(self, h: np.ndarray) -> np.ndarray:
+        """Project *h* to the box; rescale per-site to fit capacity/memory."""
+        out = np.clip(h, 0.0, self.h_upper)
+        caps = self.site_capacities()
+        mem_caps = self.cluster.memory_capacities
+        loads = self.loads(out)
+        memory = self.memory_used(out)
+        for i in range(out.shape[0]):
+            scale = 1.0
+            if loads[i] > caps[i] + _EPS and loads[i] > 0:
+                scale = min(scale, caps[i] / loads[i])
+            if np.isfinite(mem_caps[i]) and memory[i] > mem_caps[i] + _EPS and memory[i] > 0:
+                scale = min(scale, mem_caps[i] / memory[i])
+            if scale < 1.0:
+                out[i] *= scale
+        return out

@@ -1,0 +1,221 @@
+"""Scenario presets, including the paper's evaluation setup.
+
+:func:`paper_cluster` reconstructs Section VI-A / Table I: three data
+centers with normalized (speed, power) of (1.00, 1.00), (0.75, 0.60)
+and (1.15, 1.20), mean electricity prices 0.392 / 0.433 / 0.548, and
+four organizations with fairness weights 40% / 30% / 15% / 15%.  The
+average energy cost per unit work — 0.392, 0.346 and 0.572 — makes
+DC #2 the cheapest place to run work and DC #3 the most expensive,
+which drives the work-distribution result of Section VI-B1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.cluster import Cluster
+from repro.model.datacenter import DataCenter
+from repro.model.job import Account, JobType
+from repro.model.server import ServerClass
+from repro.simulation.trace import Scenario
+from repro.workloads.availability import AvailabilityModel
+from repro.workloads.cosmos import CosmosWorkload
+from repro.workloads.prices import PriceModel
+
+__all__ = [
+    "PAPER_PRICE_MEANS",
+    "PAPER_FAIR_SHARES",
+    "paper_cluster",
+    "paper_scenario",
+    "small_cluster",
+    "small_scenario",
+]
+
+#: Table I average electricity prices for DC #1-#3.
+PAPER_PRICE_MEANS = (0.392, 0.433, 0.548)
+
+#: Section VI-A fairness weights for organizations #1-#4.
+PAPER_FAIR_SHARES = (0.40, 0.30, 0.15, 0.15)
+
+#: Table I normalized (speed, power) per data center's server type.
+PAPER_SERVERS = ((1.00, 1.00), (0.75, 0.60), (1.15, 1.20))
+
+
+#: Plant sizes (servers per site).  DC #2 — the cheapest per unit work
+#: (Table I) — is provisioned largest, consistent with it receiving the
+#: most work in Section VI-B1; totals keep minimum available capacity
+#: above the peak arrival work so the slackness conditions (20)-(22)
+#: hold, as the paper requires of its setup.
+PAPER_SERVER_COUNTS = (160, 210, 60)
+
+
+def paper_cluster(
+    server_counts: tuple = PAPER_SERVER_COUNTS,
+    jobs_per_account: int = 2,
+    job_demand: float = 2.0,
+) -> Cluster:
+    """Build the Table I cluster: 3 sites, 3 server types, 4 accounts.
+
+    Each data center houses one server type (as in Table I); the plant
+    size is chosen so the peak workload of :func:`paper_scenario` fits
+    with slack, satisfying the conditions (20)-(22).
+
+    Parameters
+    ----------
+    server_counts:
+        Number of servers at each of the three sites (normalized scale).
+    jobs_per_account:
+        Job types per organization.  Each account's types are eligible
+        at all three sites (Cosmos replicates data across clusters);
+        per-type demands are staggered around *job_demand*.
+    job_demand:
+        Base service demand ``d_j`` in normalized work units.
+    """
+    classes = tuple(
+        ServerClass(name=f"gen{i + 1}", speed=s, active_power=p)
+        for i, (s, p) in enumerate(PAPER_SERVERS)
+    )
+    k = len(classes)
+    if len(server_counts) != k:
+        raise ValueError(f"server_counts must have length {k}")
+    datacenters = tuple(
+        DataCenter(
+            name=f"dc{i + 1}",
+            max_servers=[server_counts[i] if kk == i else 0 for kk in range(k)],
+            location=f"region-{i + 1}",
+        )
+        for i in range(k)
+    )
+    accounts = tuple(
+        Account(name=f"org{m + 1}", fair_share=share)
+        for m, share in enumerate(PAPER_FAIR_SHARES)
+    )
+    job_types = []
+    for m in range(len(accounts)):
+        for n in range(jobs_per_account):
+            # Stagger demands (e.g. 0.75x and 1.25x) so types differ.
+            factor = 0.75 + 0.5 * (n / max(jobs_per_account - 1, 1))
+            job_types.append(
+                JobType(
+                    name=f"org{m + 1}-type{n + 1}",
+                    demand=job_demand * factor,
+                    eligible_dcs=range(3),
+                    account=m,
+                    max_arrivals=200,
+                    max_route=200,
+                    max_service=200.0,
+                )
+            )
+    return Cluster(classes, datacenters, tuple(job_types), accounts)
+
+
+def paper_scenario(
+    horizon: int = 2000,
+    seed: int = 0,
+    mean_total_work: float = 95.0,
+    cluster: Cluster | None = None,
+) -> Scenario:
+    """The paper's evaluation scenario: 2000 hourly slots by default.
+
+    Arrivals follow the Cosmos-like generator (diurnal + sporadic
+    organization bursts, work split 40/30/15/15), prices follow the
+    Table I means with hourly variation, and availability keeps total
+    capacity above the peak load (slackness).
+    """
+    if cluster is None:
+        cluster = paper_cluster()
+    availability_model = AvailabilityModel(cluster, floor_fraction=0.8)
+    # Admission-control cap just inside the worst-case available
+    # capacity guarantees the slackness conditions (20)-(22) on every
+    # generated trace (the paper: "admission control techniques can be
+    # applied to complement our scheme").
+    # Strongly sporadic per-organization submissions (long OFF stretches,
+    # intense ON bursts), as in the paper's Fig. 1 Cosmos trace: at the
+    # slot level the arrival mix deviates hard from the 40/30/15/15
+    # targets, which is what makes the fairness term earn its keep.
+    workload = CosmosWorkload(
+        cluster,
+        mean_total_work=mean_total_work,
+        burst_mean_on=6.0,
+        burst_mean_off=30.0,
+        burst_off_level=0.05,
+        max_total_work=0.92 * availability_model.min_capacity(),
+    )
+    # Calibrated so the paper's V values (0.1 - 20) span the same
+    # energy/delay tradeoff: deregulated-market-like hourly volatility
+    # (FERC real-time prices routinely swing 2x within a day, Fig. 1).
+    price_model = PriceModel(
+        list(PAPER_PRICE_MEANS),
+        daily_amplitude=0.45,
+        volatility=0.35,
+        mean_reversion=0.2,
+        correlation=0.4,
+        floor=0.02,
+    )
+    return Scenario.generate(
+        cluster,
+        horizon=horizon,
+        seed=seed,
+        workload=workload,
+        price_model=price_model,
+        availability_model=availability_model,
+    )
+
+
+def small_cluster() -> Cluster:
+    """A minimal 2-site, 2-account cluster for tests and quick examples."""
+    classes = (
+        ServerClass(name="fast", speed=1.0, active_power=1.0),
+        ServerClass(name="efficient", speed=0.8, active_power=0.5),
+    )
+    datacenters = (
+        DataCenter(name="east", max_servers=[10, 10]),
+        DataCenter(name="west", max_servers=[10, 10]),
+    )
+    accounts = (
+        Account(name="alpha", fair_share=0.6),
+        Account(name="beta", fair_share=0.4),
+    )
+    job_types = (
+        JobType(
+            name="alpha-batch",
+            demand=1.0,
+            eligible_dcs=(0, 1),
+            account=0,
+            max_arrivals=50,
+            max_route=50,
+            max_service=50.0,
+        ),
+        JobType(
+            name="beta-batch",
+            demand=2.0,
+            eligible_dcs=(1,),
+            account=1,
+            # Pinned to a single site: the arrival cap keeps even a full
+            # burst within that site's worst-case capacity (slackness).
+            max_arrivals=5,
+            max_route=25,
+            max_service=25.0,
+        ),
+    )
+    return Cluster(classes, datacenters, job_types, accounts)
+
+
+def small_scenario(horizon: int = 200, seed: int = 0) -> Scenario:
+    """A light scenario on :func:`small_cluster` for tests and examples."""
+    cluster = small_cluster()
+    availability_model = AvailabilityModel(cluster, floor_fraction=0.7)
+    workload = CosmosWorkload(
+        cluster,
+        mean_total_work=8.0,
+        max_total_work=0.85 * availability_model.min_capacity(),
+    )
+    price_model = PriceModel([0.4, 0.5])
+    return Scenario.generate(
+        cluster,
+        horizon=horizon,
+        seed=seed,
+        workload=workload,
+        price_model=price_model,
+        availability_model=availability_model,
+    )

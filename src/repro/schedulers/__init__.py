@@ -1,0 +1,24 @@
+"""Schedulers: GreFar's baselines and the offline lookahead comparator."""
+
+from repro.schedulers.always import AlwaysScheduler
+from repro.schedulers.base import Scheduler, route_greedily, service_upper_bounds
+from repro.schedulers.lookahead import LookaheadPolicy, LookaheadSolution
+from repro.schedulers.price_threshold import PriceThresholdScheduler
+from repro.schedulers.random_dc import RandomRoutingScheduler
+from repro.schedulers.receding_horizon import RecedingHorizonScheduler
+from repro.schedulers.round_robin import RoundRobinScheduler
+from repro.schedulers.trough_filling import TroughFillingScheduler
+
+__all__ = [
+    "AlwaysScheduler",
+    "LookaheadPolicy",
+    "LookaheadSolution",
+    "PriceThresholdScheduler",
+    "RandomRoutingScheduler",
+    "RecedingHorizonScheduler",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "TroughFillingScheduler",
+    "route_greedily",
+    "service_upper_bounds",
+]

@@ -1,0 +1,53 @@
+"""The "Always" baseline (Section VI-B3).
+
+Always schedules jobs immediately whenever there are resources
+available: every queued job is routed to an eligible site at once
+(fewest-backlog first) and every site serves as much of its backlog as
+its available capacity allows, regardless of the electricity price.
+Most jobs are therefore served in the slot after they arrive — the
+expected average data center delay of one the paper reports — but the
+energy cost ignores price variation entirely.
+
+Implementation note: "serve as much as possible, most-backlogged types
+first" is exactly the ``V = 0`` slot problem, so Always reuses the
+greedy backend with ``V = 0`` (every queued job has positive marginal
+value, energy has zero weight).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.action import Action
+from repro.model.cluster import Cluster
+from repro.model.queues import QueueNetwork
+from repro.model.state import ClusterState
+from repro.optimize.greedy import solve_greedy
+from repro.optimize.slot_problem import SlotServiceProblem
+from repro.schedulers.base import Scheduler, route_greedily, service_upper_bounds
+
+__all__ = ["AlwaysScheduler"]
+
+
+class AlwaysScheduler(Scheduler):
+    """Schedule and serve everything as soon as resources allow."""
+
+    def __init__(self, cluster: Cluster) -> None:
+        super().__init__(cluster)
+        self.name = "Always"
+
+    def decide(self, t: int, state: ClusterState, queues: QueueNetwork) -> Action:
+        front = queues.front
+        dc = queues.dc
+        route = route_greedily(self.cluster, front, dc)
+        h_upper = service_upper_bounds(self.cluster, state, dc)
+        problem = SlotServiceProblem(
+            cluster=self.cluster,
+            state=state,
+            queue_weights=dc,
+            h_upper=h_upper,
+            v=0.0,
+            beta=0.0,
+        )
+        h = problem.clip_feasible(solve_greedy(problem))
+        return Action(route, h, problem.busy_for(h))

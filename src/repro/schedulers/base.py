@@ -1,0 +1,100 @@
+"""Scheduler interface shared by GreFar and every baseline.
+
+A scheduler observes the slot state ``x(t)`` and the queue network
+``Theta(t)`` at the *beginning* of each slot and returns an
+:class:`~repro.model.action.Action`; the simulator then applies the
+queue dynamics (12)-(13).  Schedulers must be *online*: decisions may
+depend only on what they are handed this slot (the lookahead baseline
+receives its future window explicitly at construction, which is the
+point of the comparison in Theorem 1).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.model.action import Action
+from repro.model.cluster import Cluster
+from repro.model.queues import QueueNetwork
+from repro.model.state import ClusterState
+
+__all__ = ["Scheduler", "route_greedily", "service_upper_bounds"]
+
+
+def service_upper_bounds(
+    cluster: Cluster,
+    state: ClusterState,
+    dc_queue_lengths: np.ndarray,
+    physical: bool = True,
+) -> np.ndarray:
+    """Effective per-slot upper bounds on the service decision ``h``.
+
+    Intersects the eq. (5) bounds ``h_ij^max``, the queue contents (when
+    running physically), and the Section III-B parallelism bounds.
+    Shared by GreFar and every eager baseline.
+    """
+    from repro.core.constraints import parallelism_service_bounds
+
+    bounds = cluster.max_service_matrix()
+    if physical:
+        bounds = np.minimum(bounds, dc_queue_lengths)
+    bounds = np.minimum(
+        bounds, parallelism_service_bounds(cluster, state, dc_queue_lengths)
+    )
+    return bounds
+
+
+class Scheduler(ABC):
+    """Base class for slot-by-slot schedulers."""
+
+    #: Human-readable name used in experiment output.
+    name: str = "scheduler"
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+
+    @abstractmethod
+    def decide(self, t: int, state: ClusterState, queues: QueueNetwork) -> Action:
+        """Return the action ``z(t)`` for slot *t*."""
+
+    def reset(self) -> None:
+        """Clear any internal state before a fresh simulation run."""
+
+
+def route_greedily(
+    cluster: Cluster,
+    front: np.ndarray,
+    dc: np.ndarray,
+    prefer: np.ndarray | None = None,
+) -> np.ndarray:
+    """Route every queued job to eligible sites, fewest-backlog first.
+
+    A shared helper for baselines that move jobs out of the central
+    queue as fast as the eq. (4) bounds allow.  Jobs of type ``j`` are
+    assigned (integrally) to sites ``i in D_j`` in increasing order of
+    *prefer* (default: current site backlog ``q_ij``), each site taking
+    at most ``r_ij^max``.
+
+    Returns the ``(N, J)`` routing matrix.
+    """
+    n, j_count = dc.shape
+    route = np.zeros((n, j_count))
+    max_route = cluster.max_route_matrix()
+    keys = dc if prefer is None else prefer
+    for j in range(j_count):
+        budget = float(np.floor(front[j] + 1e-9))
+        if budget <= 0:
+            continue
+        eligible = sorted(cluster.job_types[j].eligible_dcs, key=lambda i: keys[i, j])
+        for i in eligible:
+            take = min(max_route[i, j], budget)
+            take = float(np.floor(take + 1e-9))
+            if take <= 0:
+                continue
+            route[i, j] = take
+            budget -= take
+            if budget <= 0:
+                break
+    return route

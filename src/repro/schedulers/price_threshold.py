@@ -1,0 +1,52 @@
+"""Static price-threshold baseline (an ablation, not from the paper).
+
+Serves a site's backlog at full speed whenever the local electricity
+price is at or below a fixed threshold, and idles otherwise.  This is
+the "obvious" way to chase cheap electricity; unlike GreFar it has no
+queue feedback, so its delay is unbounded whenever prices stay high for
+long stretches — which is precisely the failure mode the Lyapunov
+queue-length term prevents.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import require_non_negative
+from repro.model.action import Action
+from repro.model.cluster import Cluster
+from repro.model.queues import QueueNetwork
+from repro.model.state import ClusterState
+from repro.optimize.greedy import solve_greedy
+from repro.optimize.slot_problem import SlotServiceProblem
+from repro.schedulers.base import Scheduler, route_greedily, service_upper_bounds
+
+__all__ = ["PriceThresholdScheduler"]
+
+
+class PriceThresholdScheduler(Scheduler):
+    """Serve only when the local price is at or below *threshold*."""
+
+    def __init__(self, cluster: Cluster, threshold: float) -> None:
+        super().__init__(cluster)
+        require_non_negative(threshold, "threshold")
+        self.threshold = float(threshold)
+        self.name = f"PriceThreshold({threshold:g})"
+
+    def decide(self, t: int, state: ClusterState, queues: QueueNetwork) -> Action:
+        front = queues.front
+        dc = queues.dc
+        route = route_greedily(self.cluster, front, dc)
+        h_upper = service_upper_bounds(self.cluster, state, dc)
+        cheap = state.prices <= self.threshold
+        h_upper = h_upper * cheap[:, np.newaxis]
+        problem = SlotServiceProblem(
+            cluster=self.cluster,
+            state=state,
+            queue_weights=dc,
+            h_upper=h_upper,
+            v=0.0,
+            beta=0.0,
+        )
+        h = problem.clip_feasible(solve_greedy(problem))
+        return Action(route, h, problem.busy_for(h))

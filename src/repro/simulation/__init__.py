@@ -1,0 +1,17 @@
+"""Time-slotted simulation engine, scenarios and metric collection."""
+
+from repro.simulation.metrics import MetricsCollector, SimulationSummary
+from repro.simulation.observers import PeakTracker, SnapshotRecorder
+from repro.simulation.simulator import SimulationResult, Simulator, run_comparison
+from repro.simulation.trace import Scenario
+
+__all__ = [
+    "MetricsCollector",
+    "PeakTracker",
+    "Scenario",
+    "SimulationResult",
+    "SimulationSummary",
+    "Simulator",
+    "SnapshotRecorder",
+    "run_comparison",
+]

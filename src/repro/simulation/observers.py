@@ -1,0 +1,82 @@
+"""Simulation observers: per-slot telemetry hooks.
+
+An observer is any callable ``(t, state, action, queues) -> None``
+invoked after each slot's dynamics are applied.  Observers let users
+capture custom telemetry without forking the simulator loop; two
+ready-made ones are provided:
+
+* :class:`SnapshotRecorder` — snapshots the full queue matrices every
+  ``k`` slots (for debugging backlog evolution);
+* :class:`PeakTracker` — tracks per-site peaks of work, busy power and
+  queue length (for capacity planning).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro._validation import require_integer
+
+__all__ = ["SnapshotRecorder", "PeakTracker"]
+
+
+@dataclass
+class SnapshotRecorder:
+    """Record full queue-state snapshots every *every* slots.
+
+    Attributes
+    ----------
+    every:
+        Snapshot period in slots.
+    slots:
+        Slot indices at which snapshots were taken.
+    front_snapshots / dc_snapshots:
+        The recorded ``Q_j(t)`` vectors and ``q_ij(t)`` matrices.
+    """
+
+    every: int = 1
+    slots: List[int] = field(default_factory=list)
+    front_snapshots: List[np.ndarray] = field(default_factory=list)
+    dc_snapshots: List[np.ndarray] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        require_integer(self.every, "every", minimum=1)
+
+    def __call__(self, t, state, action, queues) -> None:
+        if t % self.every != 0:
+            return
+        self.slots.append(int(t))
+        self.front_snapshots.append(queues.front)
+        self.dc_snapshots.append(queues.dc)
+
+    def backlog_series(self) -> np.ndarray:
+        """Total backlog at each snapshot."""
+        return np.array(
+            [f.sum() + d.sum() for f, d in zip(self.front_snapshots, self.dc_snapshots)]
+        )
+
+
+@dataclass
+class PeakTracker:
+    """Track per-site peaks of work served, power drawn and queue length."""
+
+    peak_work: np.ndarray = field(default=None)
+    peak_power: np.ndarray = field(default=None)
+    peak_queue: np.ndarray = field(default=None)
+
+    def __call__(self, t, state, action, queues) -> None:
+        cluster = queues.cluster
+        work = action.work_served(cluster)
+        power = action.busy @ cluster.active_powers
+        queue = queues.dc.sum(axis=1)
+        if self.peak_work is None:
+            self.peak_work = work.copy()
+            self.peak_power = power.copy()
+            self.peak_queue = queue.copy()
+        else:
+            np.maximum(self.peak_work, work, out=self.peak_work)
+            np.maximum(self.peak_power, power, out=self.peak_power)
+            np.maximum(self.peak_queue, queue, out=self.peak_queue)

@@ -1,0 +1,169 @@
+"""Scenarios: bundled arrival / availability / price traces.
+
+A :class:`Scenario` is everything a simulation run consumes besides the
+scheduler — the paper's "three-day trace" of Fig. 1 and the 2000-hour
+evaluation runs are instances.  Scenarios can be generated from the
+workload models, saved to ``.npz`` and reloaded bit-exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.model.cluster import Cluster
+from repro.model.state import ClusterState
+from repro.workloads.availability import AvailabilityModel
+from repro.workloads.cosmos import CosmosWorkload
+from repro.workloads.prices import PriceModel
+
+__all__ = ["Scenario"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A complete simulation input: who arrives, what is up, what power costs.
+
+    Attributes
+    ----------
+    cluster:
+        Static system description.
+    arrivals:
+        ``(T, J)`` arrival counts ``a_j(t)``.
+    availability:
+        ``(T, N, K)`` availability ``n_ik(t)``.
+    prices:
+        ``(T, N)`` electricity prices ``phi_i(t)``.
+    """
+
+    cluster: Cluster
+    arrivals: np.ndarray
+    availability: np.ndarray
+    prices: np.ndarray
+
+    def __post_init__(self) -> None:
+        arrivals = np.asarray(self.arrivals, dtype=np.float64)
+        availability = np.asarray(self.availability, dtype=np.float64)
+        prices = np.asarray(self.prices, dtype=np.float64)
+        horizon = arrivals.shape[0]
+        cluster = self.cluster
+        if arrivals.shape != (horizon, cluster.num_job_types):
+            raise ValueError(
+                f"arrivals must have shape (T, {cluster.num_job_types}), "
+                f"got {arrivals.shape}"
+            )
+        expected = (horizon, cluster.num_datacenters, cluster.num_server_classes)
+        if availability.shape != expected:
+            raise ValueError(
+                f"availability must have shape {expected}, got {availability.shape}"
+            )
+        if prices.shape != (horizon, cluster.num_datacenters):
+            raise ValueError(
+                f"prices must have shape (T, {cluster.num_datacenters}), "
+                f"got {prices.shape}"
+            )
+        for name, arr in (
+            ("arrivals", arrivals),
+            ("availability", availability),
+            ("prices", prices),
+        ):
+            if not np.all(np.isfinite(arr)) or np.any(arr < 0):
+                raise ValueError(f"{name} must be finite and non-negative")
+        object.__setattr__(self, "arrivals", arrivals)
+        object.__setattr__(self, "availability", availability)
+        object.__setattr__(self, "prices", prices)
+
+    # ------------------------------------------------------------------
+    @property
+    def horizon(self) -> int:
+        """Number of slots ``t_end``."""
+        return int(self.arrivals.shape[0])
+
+    def state_at(self, t: int) -> ClusterState:
+        """The :class:`ClusterState` snapshot ``x(t)``."""
+        if not 0 <= t < self.horizon:
+            raise IndexError(f"slot {t} outside horizon [0, {self.horizon})")
+        return ClusterState(self.availability[t], self.prices[t])
+
+    def arrival_work(self) -> np.ndarray:
+        """Total arriving work per slot (length ``T``)."""
+        return self.arrivals @ self.cluster.demands
+
+    def truncated(self, horizon: int) -> "Scenario":
+        """A copy limited to the first *horizon* slots."""
+        if not 0 < horizon <= self.horizon:
+            raise ValueError(f"horizon must be in (0, {self.horizon}], got {horizon}")
+        return Scenario(
+            cluster=self.cluster,
+            arrivals=self.arrivals[:horizon],
+            availability=self.availability[:horizon],
+            prices=self.prices[:horizon],
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def generate(
+        cls,
+        cluster: Cluster,
+        horizon: int,
+        seed: int = 0,
+        workload: CosmosWorkload | None = None,
+        price_model: PriceModel | None = None,
+        availability_model: AvailabilityModel | None = None,
+    ) -> "Scenario":
+        """Generate a scenario from the workload substrates.
+
+        Defaults mirror the paper's setup: a Cosmos-like workload with
+        the cluster's fairness shares, Table-I-mean prices (when the
+        cluster has three sites; otherwise unit means) and slackness-
+        preserving availability.
+        """
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        rng = np.random.default_rng(seed)
+        if workload is None:
+            workload = CosmosWorkload(cluster)
+        if price_model is None:
+            if cluster.num_datacenters == 3:
+                means = [0.392, 0.433, 0.548]
+            else:
+                means = [1.0] * cluster.num_datacenters
+            price_model = PriceModel(means)
+        if availability_model is None:
+            availability_model = AvailabilityModel(cluster)
+        arrivals = workload.generate(horizon, rng)
+        prices = price_model.generate(horizon, rng)
+        availability = availability_model.generate(horizon, rng)
+        return cls(
+            cluster=cluster,
+            arrivals=arrivals,
+            availability=availability,
+            prices=prices,
+        )
+
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Persist the trace arrays to an ``.npz`` file.
+
+        The cluster itself is not serialized — pair the file with the
+        factory that built the cluster (e.g. ``repro.scenarios``).
+        """
+        np.savez_compressed(
+            Path(path),
+            arrivals=self.arrivals,
+            availability=self.availability,
+            prices=self.prices,
+        )
+
+    @classmethod
+    def load(cls, cluster: Cluster, path: str | Path) -> "Scenario":
+        """Reload a trace saved with :meth:`save` for the same cluster."""
+        with np.load(Path(path)) as data:
+            return cls(
+                cluster=cluster,
+                arrivals=data["arrivals"],
+                availability=data["availability"],
+                prices=data["prices"],
+            )

@@ -1,0 +1,52 @@
+"""Workload substrates: arrivals, electricity prices and availability.
+
+These generators stand in for the paper's proprietary inputs (Microsoft
+Cosmos traces, FERC hourly prices) — see DESIGN.md for the substitution
+rationale.
+"""
+
+from repro.workloads.arrivals import (
+    CompositeRate,
+    ConstantRate,
+    DiurnalRate,
+    OnOffBurstRate,
+    PoissonCounts,
+    RateProfile,
+    WeeklyRate,
+    sample_bounded_poisson,
+)
+from repro.workloads.availability import AvailabilityModel
+from repro.workloads.calibration import (
+    ProvisioningReport,
+    calibrate_workload,
+    provisioning_report,
+)
+from repro.workloads.cosmos import CosmosWorkload
+from repro.workloads.prices import PriceModel
+from repro.workloads.replay import (
+    load_scenario_csv,
+    read_matrix_csv,
+    save_scenario_csv,
+    write_matrix_csv,
+)
+
+__all__ = [
+    "AvailabilityModel",
+    "ProvisioningReport",
+    "CompositeRate",
+    "ConstantRate",
+    "CosmosWorkload",
+    "DiurnalRate",
+    "OnOffBurstRate",
+    "PoissonCounts",
+    "PriceModel",
+    "RateProfile",
+    "WeeklyRate",
+    "calibrate_workload",
+    "load_scenario_csv",
+    "provisioning_report",
+    "read_matrix_csv",
+    "sample_bounded_poisson",
+    "save_scenario_csv",
+    "write_matrix_csv",
+]

@@ -1,0 +1,117 @@
+"""Provisioning calibration: size workloads to satisfy slackness.
+
+Theorem 1 needs the slackness conditions (20)-(22): the plant must
+cover the offered load with margin in *every* slot.  When users build
+custom clusters these helpers answer the two practical questions:
+
+* *How loaded is this scenario?* — :func:`provisioning_report` gives
+  utilization percentiles and the worst slot.
+* *How much work can this plant take?* — :func:`calibrate_workload`
+  returns a :class:`~repro.workloads.cosmos.CosmosWorkload` whose mean
+  and admission cap target a chosen utilization with a slackness-safe
+  ceiling, the recipe the built-in ``paper_scenario`` uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import require_in_range
+from repro.model.cluster import Cluster
+from repro.workloads.availability import AvailabilityModel
+from repro.workloads.cosmos import CosmosWorkload
+
+__all__ = ["ProvisioningReport", "provisioning_report", "calibrate_workload"]
+
+
+@dataclass(frozen=True)
+class ProvisioningReport:
+    """Utilization statistics of a scenario against its plant."""
+
+    mean_utilization: float
+    p95_utilization: float
+    peak_utilization: float
+    worst_slot: int
+    slack_feasible: bool
+
+    def summary(self) -> str:
+        """One-line human-readable provisioning summary."""
+        status = "slack OK" if self.slack_feasible else "OVERLOADED"
+        return (
+            f"utilization mean {self.mean_utilization:.0%}, "
+            f"p95 {self.p95_utilization:.0%}, peak {self.peak_utilization:.0%} "
+            f"(slot {self.worst_slot}) — {status}"
+        )
+
+
+def provisioning_report(scenario) -> ProvisioningReport:
+    """Compute systemwide utilization statistics for a scenario.
+
+    Utilization here is offered work divided by available capacity per
+    slot — the aggregate form of condition (22).  (The per-site
+    eligibility-aware check lives in
+    :func:`repro.core.slackness.check_slackness`; aggregate utilization
+    below 100% is necessary, not sufficient.)
+    """
+    cluster = scenario.cluster
+    work = scenario.arrival_work()
+    caps = np.einsum("tnk,k->t", scenario.availability, cluster.speeds)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        util = np.where(caps > 0, work / caps, np.inf)
+    worst = int(np.argmax(util))
+    return ProvisioningReport(
+        mean_utilization=float(np.mean(util)),
+        p95_utilization=float(np.quantile(util, 0.95)),
+        peak_utilization=float(util[worst]),
+        worst_slot=worst,
+        slack_feasible=bool(util[worst] < 1.0),
+    )
+
+
+def calibrate_workload(
+    cluster: Cluster,
+    availability_model: AvailabilityModel | None = None,
+    target_utilization: float = 0.3,
+    cap_fraction: float = 0.92,
+    **workload_kwargs,
+) -> CosmosWorkload:
+    """Build a Cosmos-like workload sized for this plant.
+
+    Parameters
+    ----------
+    cluster:
+        The plant to load.
+    availability_model:
+        The availability process the scenario will use (its worst-case
+        capacity anchors the admission cap); defaults to the standard
+        model.
+    target_utilization:
+        Desired mean offered work as a fraction of worst-case capacity.
+    cap_fraction:
+        Admission cap as a fraction of worst-case capacity (< 1 keeps
+        the slackness margin).
+    workload_kwargs:
+        Passed through to :class:`CosmosWorkload` (burstiness etc.).
+    """
+    require_in_range(target_utilization, 1e-6, 1.0, "target_utilization")
+    require_in_range(cap_fraction, 1e-6, 0.999, "cap_fraction")
+    if target_utilization >= cap_fraction:
+        raise ValueError(
+            f"target_utilization ({target_utilization}) must be below "
+            f"cap_fraction ({cap_fraction})"
+        )
+    if availability_model is None:
+        availability_model = AvailabilityModel(cluster)
+    floor_capacity = availability_model.min_capacity()
+    if floor_capacity <= 0:
+        raise ValueError(
+            "availability model guarantees no capacity; cannot calibrate"
+        )
+    return CosmosWorkload(
+        cluster,
+        mean_total_work=target_utilization * floor_capacity,
+        max_total_work=cap_fraction * floor_capacity,
+        **workload_kwargs,
+    )

@@ -1,0 +1,138 @@
+"""Electricity price substrate (CAISO/FERC stand-in).
+
+The paper drives its simulation with publicly available hourly prices
+from FERC [14] near the (undisclosed) Cosmos data centers, with the
+per-site averages of Table I: 0.392, 0.433 and 0.548.  Those exact
+series are not redistributable, so this module synthesizes hourly
+prices with the same structure that GreFar exploits:
+
+* per-site long-run means (Table I values by default);
+* a diurnal pattern (peak afternoon prices, cheap nights);
+* mean-reverting AR(1) noise (deregulated-market volatility);
+* positive cross-site correlation (regional weather/load), left
+  imperfect so that *where* to run still matters.
+
+Only the variability structure matters to the algorithm — Theorem 1
+assumes nothing about the price process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro._validation import as_float_array, require_in_range, require_non_negative
+
+__all__ = ["PriceModel"]
+
+
+@dataclass(frozen=True)
+class PriceModel:
+    """Synthetic hourly electricity prices for ``N`` sites.
+
+    Parameters
+    ----------
+    means:
+        Length-``N`` long-run mean price per site.
+    daily_amplitude:
+        Relative size of the diurnal swing (0 disables it).
+    volatility:
+        Standard deviation of the AR(1) noise relative to the mean.
+    mean_reversion:
+        AR(1) reversion speed in ``(0, 1]``; 1 gives i.i.d. noise.
+    correlation:
+        Cross-site noise correlation in ``[0, 1)``.
+    period:
+        Slots per day (24 for hourly slots).
+    floor:
+        Hard lower bound keeping prices positive.
+    """
+
+    means: np.ndarray
+    daily_amplitude: float = 0.25
+    volatility: float = 0.15
+    mean_reversion: float = 0.35
+    correlation: float = 0.5
+    period: float = 24.0
+    floor: float = 0.01
+    phase_offsets: np.ndarray = field(default=None)
+
+    def __init__(
+        self,
+        means: Sequence[float],
+        daily_amplitude: float = 0.25,
+        volatility: float = 0.15,
+        mean_reversion: float = 0.35,
+        correlation: float = 0.5,
+        period: float = 24.0,
+        floor: float = 0.01,
+        phase_offsets: Sequence[float] | None = None,
+    ) -> None:
+        mu = as_float_array(means, "means")
+        if mu.ndim != 1 or mu.size == 0:
+            raise ValueError("means must be a non-empty 1-D sequence")
+        if np.any(mu <= 0):
+            raise ValueError("means must be strictly positive")
+        require_in_range(daily_amplitude, 0.0, 1.0, "daily_amplitude")
+        require_non_negative(volatility, "volatility")
+        require_in_range(mean_reversion, 1e-6, 1.0, "mean_reversion")
+        require_in_range(correlation, 0.0, 0.999, "correlation")
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        require_non_negative(floor, "floor")
+        if phase_offsets is None:
+            # Offset sites a few hours apart (time zones) so price dips
+            # do not coincide, which is what makes geo-shifting pay off.
+            offsets = np.arange(mu.size, dtype=np.float64) * (period / 8.0)
+        else:
+            offsets = as_float_array(phase_offsets, "phase_offsets")
+            if offsets.shape != mu.shape:
+                raise ValueError("phase_offsets must match means in length")
+        mu = mu.copy()
+        offsets = offsets.copy()
+        mu.setflags(write=False)
+        offsets.setflags(write=False)
+        object.__setattr__(self, "means", mu)
+        object.__setattr__(self, "daily_amplitude", float(daily_amplitude))
+        object.__setattr__(self, "volatility", float(volatility))
+        object.__setattr__(self, "mean_reversion", float(mean_reversion))
+        object.__setattr__(self, "correlation", float(correlation))
+        object.__setattr__(self, "period", float(period))
+        object.__setattr__(self, "floor", float(floor))
+        object.__setattr__(self, "phase_offsets", offsets)
+
+    @property
+    def num_sites(self) -> int:
+        """Number of sites this model prices."""
+        return int(self.means.size)
+
+    def generate(self, horizon: int, rng: np.random.Generator) -> np.ndarray:
+        """Return a ``(horizon, N)`` matrix of positive prices."""
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        n = self.num_sites
+        t = np.arange(horizon, dtype=np.float64)[:, np.newaxis]
+        diurnal = 1.0 + self.daily_amplitude * np.sin(
+            2.0 * np.pi * (t + self.phase_offsets[np.newaxis, :]) / self.period
+        )
+
+        # Correlated AR(1) noise: shared regional factor + site factor.
+        shared = rng.standard_normal(horizon)
+        own = rng.standard_normal((horizon, n))
+        shocks = (
+            np.sqrt(self.correlation) * shared[:, np.newaxis]
+            + np.sqrt(1.0 - self.correlation) * own
+        )
+        noise = np.zeros((horizon, n))
+        level = np.zeros(n)
+        a = 1.0 - self.mean_reversion
+        # Scale so the stationary std equals `volatility`.
+        innov_scale = self.volatility * np.sqrt(max(1.0 - a**2, 1e-12))
+        for step in range(horizon):
+            level = a * level + innov_scale * shocks[step]
+            noise[step] = level
+
+        prices = self.means[np.newaxis, :] * diurnal * (1.0 + noise)
+        return np.clip(prices, self.floor, None)

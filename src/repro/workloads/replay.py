@@ -1,0 +1,148 @@
+"""Trace import/export: run the scheduler on *your* data.
+
+The paper drives its simulator with a real trace; this module lets a
+downstream user do the same — CSV in, :class:`Scenario` out — without
+touching the synthetic generators.  Formats are deliberately plain:
+
+* arrivals.csv — header ``slot,<type0>,<type1>,...``; one row per slot,
+  integer job counts per type (column order = cluster job-type order);
+* prices.csv — header ``slot,<dc0>,<dc1>,...``; one row per slot;
+* availability.csv — header ``slot,dc,<class0>,...``; one row per
+  (slot, site) pair.
+
+`save_scenario_csv` writes the same format, so synthetic scenarios can
+be exported, edited and re-imported.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.model.cluster import Cluster
+
+# NOTE: repro.simulation.trace imports repro.workloads, so Scenario is
+# imported lazily inside the functions below to avoid a cycle.
+
+__all__ = [
+    "load_scenario_csv",
+    "save_scenario_csv",
+    "read_matrix_csv",
+    "write_matrix_csv",
+]
+
+
+def write_matrix_csv(path: str | Path, matrix: np.ndarray, columns) -> None:
+    """Write a ``(T, C)`` matrix with a ``slot`` index column."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise ValueError(f"matrix must be 2-D, got shape {matrix.shape}")
+    if matrix.shape[1] != len(columns):
+        raise ValueError(
+            f"matrix has {matrix.shape[1]} columns but {len(columns)} names given"
+        )
+    with open(Path(path), "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["slot", *columns])
+        for t, row in enumerate(matrix):
+            writer.writerow([t, *row.tolist()])
+
+
+def read_matrix_csv(path: str | Path, expected_columns: int) -> np.ndarray:
+    """Read a matrix written by :func:`write_matrix_csv`."""
+    rows = []
+    with open(Path(path), newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or len(header) != expected_columns + 1:
+            raise ValueError(
+                f"{path}: expected {expected_columns + 1} columns "
+                f"(slot + {expected_columns}), got "
+                f"{0 if header is None else len(header)}"
+            )
+        for line_no, row in enumerate(reader, start=2):
+            if len(row) != expected_columns + 1:
+                raise ValueError(f"{path}:{line_no}: ragged row")
+            try:
+                rows.append([float(x) for x in row[1:]])
+            except ValueError as exc:
+                raise ValueError(f"{path}:{line_no}: non-numeric cell") from exc
+    if not rows:
+        raise ValueError(f"{path}: no data rows")
+    return np.array(rows)
+
+
+def save_scenario_csv(scenario, directory: str | Path) -> None:
+    """Export a scenario as arrivals/prices/availability CSVs."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    cluster = scenario.cluster
+    write_matrix_csv(
+        directory / "arrivals.csv",
+        scenario.arrivals,
+        [jt.name for jt in cluster.job_types],
+    )
+    write_matrix_csv(
+        directory / "prices.csv",
+        scenario.prices,
+        [dc.name for dc in cluster.datacenters],
+    )
+    # Availability: one row per (slot, site).
+    horizon = scenario.horizon
+    n = cluster.num_datacenters
+    with open(directory / "availability.csv", "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["slot", "dc", *[c.name for c in cluster.server_classes]]
+        )
+        for t in range(horizon):
+            for i in range(n):
+                writer.writerow([t, i, *scenario.availability[t, i].tolist()])
+
+
+def load_scenario_csv(cluster: Cluster, directory: str | Path):
+    """Load a scenario exported by :func:`save_scenario_csv`.
+
+    The cluster provides the dimensions and validation; the CSVs provide
+    the time series.  Returns a :class:`~repro.simulation.trace.Scenario`.
+    """
+    from repro.simulation.trace import Scenario
+
+    directory = Path(directory)
+    arrivals = read_matrix_csv(directory / "arrivals.csv", cluster.num_job_types)
+    prices = read_matrix_csv(directory / "prices.csv", cluster.num_datacenters)
+    horizon = arrivals.shape[0]
+    if prices.shape[0] != horizon:
+        raise ValueError(
+            f"arrivals has {horizon} slots but prices has {prices.shape[0]}"
+        )
+
+    n, k = cluster.num_datacenters, cluster.num_server_classes
+    availability = np.zeros((horizon, n, k))
+    seen = np.zeros((horizon, n), dtype=bool)
+    with open(directory / "availability.csv", newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or len(header) != k + 2:
+            raise ValueError("availability.csv: bad header")
+        for line_no, row in enumerate(reader, start=2):
+            if len(row) != k + 2:
+                raise ValueError(f"availability.csv:{line_no}: ragged row")
+            t, i = int(float(row[0])), int(float(row[1]))
+            if not (0 <= t < horizon and 0 <= i < n):
+                raise ValueError(
+                    f"availability.csv:{line_no}: slot/site ({t}, {i}) out of range"
+                )
+            availability[t, i] = [float(x) for x in row[2:]]
+            seen[t, i] = True
+    if not seen.all():
+        missing = int((~seen).sum())
+        raise ValueError(f"availability.csv: {missing} (slot, site) rows missing")
+    return Scenario(
+        cluster=cluster,
+        arrivals=arrivals,
+        availability=availability,
+        prices=prices,
+    )

@@ -1,0 +1,66 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model.cluster import Cluster
+from repro.model.datacenter import DataCenter
+from repro.model.job import Account, JobType
+from repro.model.server import ServerClass
+from repro.model.state import ClusterState
+from repro.scenarios import small_cluster, small_scenario
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def cluster() -> Cluster:
+    """The standard 2-site test cluster."""
+    return small_cluster()
+
+
+@pytest.fixture
+def scenario():
+    """A short scenario on the test cluster."""
+    return small_scenario(horizon=60, seed=3)
+
+
+@pytest.fixture
+def state(cluster) -> ClusterState:
+    """A fixed, fully-available state for the test cluster."""
+    availability = np.stack([dc.max_servers for dc in cluster.datacenters])
+    return ClusterState(availability, [0.4, 0.5])
+
+
+@pytest.fixture
+def tiny_cluster() -> Cluster:
+    """A 1-site, 1-type cluster for hand-computable cases."""
+    return Cluster(
+        server_classes=(ServerClass(name="only", speed=2.0, active_power=1.0),),
+        datacenters=(DataCenter(name="solo", max_servers=[4]),),
+        job_types=(
+            JobType(
+                name="job",
+                demand=1.0,
+                eligible_dcs=(0,),
+                account=0,
+                max_arrivals=10,
+                max_route=10,
+                max_service=10.0,
+            ),
+        ),
+        accounts=(Account(name="acct", fair_share=1.0),),
+    )
+
+
+def make_state(cluster: Cluster, prices, fraction: float = 1.0) -> ClusterState:
+    """Helper: a state with every site at *fraction* of its plant."""
+    availability = np.stack(
+        [np.floor(dc.max_servers * fraction) for dc in cluster.datacenters]
+    )
+    return ClusterState(availability, prices)

@@ -1,0 +1,143 @@
+"""Tests for the admission control policies."""
+
+import numpy as np
+import pytest
+
+from repro.core.admission import (
+    AccountQuotaAdmission,
+    AdmitAll,
+    BacklogCapAdmission,
+)
+from repro.model.action import Action
+from repro.model.queues import QueueNetwork
+from repro.schedulers import AlwaysScheduler
+from repro.simulation.simulator import Simulator
+
+
+class TestAdmitAll:
+    def test_passthrough(self, cluster):
+        policy = AdmitAll()
+        arrivals = np.array([3.0, 2.0])
+        out = policy.admit(0, arrivals, QueueNetwork(cluster), cluster)
+        np.testing.assert_allclose(out, arrivals)
+
+    def test_returns_copy(self, cluster):
+        policy = AdmitAll()
+        arrivals = np.array([3.0, 2.0])
+        out = policy.admit(0, arrivals, QueueNetwork(cluster), cluster)
+        out[0] = 99
+        assert arrivals[0] == 3.0
+
+
+class TestBacklogCap:
+    def test_admits_under_cap(self, cluster):
+        policy = BacklogCapAdmission(max_backlog_work=100.0)
+        out = policy.admit(0, np.array([3.0, 2.0]), QueueNetwork(cluster), cluster)
+        np.testing.assert_allclose(out, [3.0, 2.0])
+
+    def test_rejects_over_cap(self, cluster):
+        # demands are [1, 2]: offered work = 3 + 4 = 7 > cap 4.
+        policy = BacklogCapAdmission(max_backlog_work=4.0)
+        out = policy.admit(0, np.array([3.0, 2.0]), QueueNetwork(cluster), cluster)
+        demands = cluster.demands
+        assert float(out @ demands) <= 4.0 + 1e-9
+        assert np.all(out >= 0)
+
+    def test_rejects_biggest_jobs_first(self, cluster):
+        policy = BacklogCapAdmission(max_backlog_work=5.0)
+        out = policy.admit(0, np.array([3.0, 2.0]), QueueNetwork(cluster), cluster)
+        # Type 1 (demand 2) loses jobs before type 0 (demand 1).
+        assert out[1] < 2.0
+        assert out[0] == pytest.approx(3.0)
+
+    def test_existing_backlog_counts(self, cluster):
+        policy = BacklogCapAdmission(max_backlog_work=5.0)
+        queues = QueueNetwork(cluster)
+        queues.step(Action.idle(cluster), np.array([5.0, 0.0]), t=0)  # 5 work queued
+        out = policy.admit(1, np.array([3.0, 0.0]), queues, cluster)
+        assert float(out.sum()) == pytest.approx(0.0)
+
+    def test_rejects_bad_cap(self):
+        with pytest.raises(ValueError):
+            BacklogCapAdmission(max_backlog_work=0.0)
+
+
+class TestAccountQuota:
+    def test_quota_enforced(self, cluster):
+        # Account 0 (type 0, demand 1): 2 work/slot; account 1: 0.
+        policy = AccountQuotaAdmission(cluster, rates=[2.0, 0.0], burst=1.0)
+        out = policy.admit(0, np.array([5.0, 3.0]), QueueNetwork(cluster), cluster)
+        assert out[0] <= 2.0 + 1e-9
+        assert out[1] == pytest.approx(0.0)
+
+    def test_credit_accumulates_up_to_burst(self, cluster):
+        policy = AccountQuotaAdmission(cluster, rates=[1.0, 0.0], burst=3.0)
+        queues = QueueNetwork(cluster)
+        # Idle slots bank credit (capped at 3).
+        for t in range(5):
+            policy.admit(t, np.zeros(2), queues, cluster)
+        out = policy.admit(5, np.array([10.0, 0.0]), queues, cluster)
+        assert out[0] <= 3.0 + 1e-9
+        assert out[0] >= 2.0  # banked credit was actually usable
+
+    def test_reset_restores_initial_credit(self, cluster):
+        policy = AccountQuotaAdmission(cluster, rates=[1.0, 1.0], burst=2.0)
+        policy.admit(0, np.array([10.0, 10.0]), QueueNetwork(cluster), cluster)
+        policy.reset()
+        np.testing.assert_allclose(policy._credit, [2.0, 2.0])
+
+    def test_validation(self, cluster):
+        with pytest.raises(ValueError):
+            AccountQuotaAdmission(cluster, rates=[1.0])
+        with pytest.raises(ValueError):
+            AccountQuotaAdmission(cluster, rates=[-1.0, 1.0])
+        with pytest.raises(ValueError):
+            AccountQuotaAdmission(cluster, rates=[1.0, 1.0], burst=0.0)
+
+
+class TestSimulatorIntegration:
+    def test_dropped_jobs_counted(self, scenario):
+        result = Simulator(
+            scenario,
+            AlwaysScheduler(scenario.cluster),
+            admission=BacklogCapAdmission(max_backlog_work=3.0),
+        ).run(40)
+        total_offered = float(scenario.arrivals[:40].sum())
+        s = result.summary
+        assert s.total_dropped_jobs > 0
+        assert s.total_arrived_jobs + s.total_dropped_jobs == pytest.approx(
+            total_offered
+        )
+
+    def test_conservation_with_admission(self, scenario):
+        result = Simulator(
+            scenario,
+            AlwaysScheduler(scenario.cluster),
+            admission=BacklogCapAdmission(max_backlog_work=10.0),
+        ).run(40)
+        s = result.summary
+        assert s.total_served_jobs + result.queues.total_backlog() == pytest.approx(
+            s.total_arrived_jobs, abs=1e-6
+        )
+
+    def test_admit_all_changes_nothing(self, scenario):
+        base = Simulator(scenario, AlwaysScheduler(scenario.cluster)).run(40)
+        gated = Simulator(
+            scenario, AlwaysScheduler(scenario.cluster), admission=AdmitAll()
+        ).run(40)
+        assert gated.summary.total_dropped_jobs == 0.0
+        assert gated.summary.avg_energy_cost == pytest.approx(
+            base.summary.avg_energy_cost
+        )
+
+    def test_backlog_cap_bounds_queue(self, scenario):
+        """With a work cap and a non-serving window, queues stay bounded."""
+        result = Simulator(
+            scenario,
+            AlwaysScheduler(scenario.cluster),
+            admission=BacklogCapAdmission(max_backlog_work=12.0),
+        ).run()
+        max_backlog_seen = max(result.metrics.queue_total_series())
+        arrivals_bound = max(scenario.arrivals.sum(axis=1))
+        # Queue jobs <= cap (all demand >= 1 here) + one slot of arrivals.
+        assert max_backlog_seen <= 12.0 + arrivals_bound

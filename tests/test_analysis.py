@@ -1,0 +1,77 @@
+"""Unit tests for the analysis helpers."""
+
+import pytest
+
+from repro.analysis import (
+    delay_percentile_bound,
+    format_table,
+    littles_law_delay,
+    sweep_beta,
+    sweep_v,
+)
+
+
+class TestLittlesLaw:
+    def test_basic(self):
+        assert littles_law_delay(10.0, 2.0) == pytest.approx(5.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            littles_law_delay(10.0, 0.0)
+        with pytest.raises(ValueError):
+            littles_law_delay(-1.0, 1.0)
+
+
+class TestDelayBound:
+    def test_basic(self):
+        assert delay_percentile_bound(20.0, 1.0, 4.0) == pytest.approx(5.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            delay_percentile_bound(-1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            delay_percentile_bound(1.0, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            delay_percentile_bound(1.0, -1.0, 1.0)
+
+
+class TestFormatTable:
+    def test_renders_rows(self):
+        out = format_table(["a", "b"], [(1, 2.5), ("x", 3.14159)])
+        assert "a" in out and "b" in out
+        assert "3.142" in out  # default 3-decimal precision
+
+    def test_precision(self):
+        out = format_table(["x"], [(1.23456,)], precision=1)
+        assert "1.2" in out
+
+    def test_title(self):
+        out = format_table(["x"], [(1,)], title="hello")
+        assert out.startswith("hello")
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [(1,)])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+
+class TestSweeps:
+    def test_sweep_v(self, scenario):
+        points = sweep_v(scenario, [0.5, 20.0], horizon=25)
+        assert len(points) == 2
+        assert points[0].v == 0.5
+        assert points[1].max_queue_length >= 0
+
+    def test_sweep_beta(self, scenario):
+        points = sweep_beta(scenario, [0.0, 50.0], v=5.0, horizon=25)
+        assert len(points) == 2
+        assert points[1].beta == 50.0
+
+    def test_sweeps_reject_empty(self, scenario):
+        with pytest.raises(ValueError):
+            sweep_v(scenario, [])
+        with pytest.raises(ValueError):
+            sweep_beta(scenario, [])

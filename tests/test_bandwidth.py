@@ -1,0 +1,127 @@
+"""Tests for the bandwidth (ingress-cost) routing extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.grefar import GreFarScheduler
+from repro.core.objective import CostModel
+from repro.model.action import Action
+from repro.model.cluster import Cluster
+from repro.model.datacenter import DataCenter
+from repro.model.job import Account, JobType
+from repro.model.queues import QueueNetwork
+from repro.model.server import ServerClass
+from repro.model.state import ClusterState
+from repro.simulation.simulator import Simulator
+from repro.simulation.trace import Scenario
+
+
+def _bw_cluster(ingress=(0.0, 1.0)) -> Cluster:
+    """Two identical sites; site 1 charges for ingress."""
+    return Cluster(
+        server_classes=(ServerClass(name="s", speed=1.0, active_power=0.5),),
+        datacenters=(
+            DataCenter(name="free", max_servers=[10], ingress_cost=ingress[0]),
+            DataCenter(name="toll", max_servers=[10], ingress_cost=ingress[1]),
+        ),
+        job_types=(
+            JobType(name="j", demand=1.0, eligible_dcs=(0, 1), account=0,
+                    max_arrivals=20, max_route=20, max_service=20.0),
+        ),
+        accounts=(Account(name="a", fair_share=1.0),),
+    )
+
+
+class TestModelField:
+    def test_default_is_zero(self):
+        dc = DataCenter(name="d", max_servers=[1])
+        assert dc.ingress_cost == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DataCenter(name="d", max_servers=[1], ingress_cost=-1.0)
+
+    def test_cluster_vector(self):
+        c = _bw_cluster()
+        np.testing.assert_allclose(c.ingress_costs, [0.0, 1.0])
+
+
+class TestRouting:
+    def _queues_with_front(self, cluster, jobs=4.0):
+        q = QueueNetwork(cluster)
+        q.step(Action.idle(cluster), np.array([jobs]), t=0)
+        return q
+
+    def test_avoids_tolled_site(self):
+        cluster = _bw_cluster(ingress=(0.0, 5.0))
+        state = ClusterState(np.array([[10.0], [10.0]]), [0.4, 0.4])
+        scheduler = GreFarScheduler(cluster, v=2.0)
+        queues = self._queues_with_front(cluster)
+        action = scheduler.decide(1, state, queues)
+        assert action.route[0, 0] > 0
+        assert action.route[1, 0] == 0.0
+
+    def test_zero_v_ignores_toll(self):
+        """With V = 0 the transfer cost has zero weight in (14)."""
+        cluster = _bw_cluster(ingress=(0.0, 100.0))
+        state = ClusterState(np.array([[10.0], [10.0]]), [0.4, 0.4])
+        scheduler = GreFarScheduler(cluster, v=0.0)
+        queues = self._queues_with_front(cluster)
+        action = scheduler.decide(1, state, queues)
+        # Toll site still receives jobs (backpressure only).
+        assert action.route.sum() == pytest.approx(4.0)
+
+    def test_toll_overridden_by_large_backlog_gap(self):
+        """Enough backpressure beats a small toll."""
+        cluster = _bw_cluster(ingress=(0.0, 0.1))
+        state = ClusterState(np.array([[10.0], [10.0]]), [0.4, 0.4])
+        scheduler = GreFarScheduler(cluster, v=1.0)
+        q = QueueNetwork(cluster)
+        q.step(Action.idle(cluster), np.array([6.0]), t=0)
+        # Pile backlog on the free site only.
+        route = np.array([[6.0], [0.0]])
+        q.step(Action(route, np.zeros((2, 1)), np.zeros((2, 1))),
+               np.array([6.0]), t=1)
+        action = scheduler.decide(2, state, q)
+        # Free site has q=6, toll site q=0: the toll (0.1) is tiny
+        # against the 6-job backlog gap, so the toll site gets jobs.
+        assert action.route[1, 0] > 0
+
+
+class TestCostAccounting:
+    def test_bandwidth_cost_measured(self):
+        cluster = _bw_cluster(ingress=(0.0, 2.0))
+        state = ClusterState(np.array([[10.0], [10.0]]), [0.4, 0.4])
+        route = np.array([[1.0], [3.0]])
+        action = Action(route, np.zeros((2, 1)), np.zeros((2, 1)))
+        cost = CostModel().evaluate(cluster, state, action)
+        assert cost.bandwidth == pytest.approx(6.0)
+        assert cost.combined == pytest.approx(cost.energy + 6.0)
+
+    def test_zero_ingress_means_zero_bandwidth(self, cluster, state):
+        action = Action.idle(cluster)
+        cost = CostModel().evaluate(cluster, state, action)
+        assert cost.bandwidth == 0.0
+
+
+class TestEndToEnd:
+    def test_toll_shifts_work_distribution(self):
+        horizon = 80
+        rng = np.random.default_rng(4)
+        arrivals = rng.integers(0, 6, size=(horizon, 1)).astype(float)
+        availability = np.full((horizon, 2, 1), 10.0)
+        prices = np.full((horizon, 2), 0.4)
+
+        def work_share_toll(ingress):
+            cluster = _bw_cluster(ingress=(0.0, ingress))
+            scn = Scenario(
+                cluster=cluster,
+                arrivals=arrivals,
+                availability=availability,
+                prices=prices,
+            )
+            result = Simulator(scn, GreFarScheduler(cluster, v=5.0)).run()
+            work = result.metrics.work_per_dc_series().sum(axis=0)
+            return float(work[1] / max(work.sum(), 1e-9))
+
+        assert work_share_toll(2.0) < work_share_toll(0.0)

@@ -1,0 +1,113 @@
+"""Unit tests for the Theorem 1 constants and bounds."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import TheoremConstants
+from repro.scenarios import small_cluster
+
+
+@pytest.fixture
+def constants():
+    return TheoremConstants.from_scenario(
+        small_cluster(), max_arrivals=[10, 5], price_cap=1.0, beta=0.0
+    )
+
+
+class TestFromScenario:
+    def test_all_constants_finite_positive(self, constants):
+        assert constants.b_const > 0
+        assert constants.d_const > 0
+        assert constants.q_max_diff > 0
+        assert constants.g_max > 0
+        assert constants.g_min == 0.0
+
+    def test_beta_raises_g_max(self):
+        cluster = small_cluster()
+        base = TheoremConstants.from_scenario(cluster, price_cap=1.0, beta=0.0)
+        fair = TheoremConstants.from_scenario(cluster, price_cap=1.0, beta=100.0)
+        assert fair.g_max > base.g_max
+        assert fair.b_const == base.b_const
+
+    def test_price_cap_scales_g_max(self):
+        cluster = small_cluster()
+        low = TheoremConstants.from_scenario(cluster, price_cap=0.5)
+        high = TheoremConstants.from_scenario(cluster, price_cap=2.0)
+        assert high.g_max == pytest.approx(4.0 * low.g_max)
+
+    def test_rejects_bad_arrival_length(self):
+        with pytest.raises(ValueError):
+            TheoremConstants.from_scenario(small_cluster(), max_arrivals=[1])
+
+    def test_rejects_bad_price_cap(self):
+        with pytest.raises(ValueError):
+            TheoremConstants.from_scenario(small_cluster(), price_cap=0.0)
+
+    def test_default_arrival_caps_from_job_types(self):
+        c = TheoremConstants.from_scenario(small_cluster(), price_cap=1.0)
+        assert c.b_const > 0
+
+    def test_b_is_standard_drift_bound(self):
+        """B = 0.5 sum_j (route_in^2 + a_max^2) + 0.5 sum_ij (h^2 + r^2)."""
+        cluster = small_cluster()
+        c = TheoremConstants.from_scenario(
+            cluster, max_arrivals=[10, 5], price_cap=1.0
+        )
+        r_max = cluster.max_route_matrix()
+        h_max = cluster.max_service_matrix()
+        elig = cluster.eligibility_matrix()
+        route_in = r_max.sum(axis=0)
+        expected = 0.5 * np.sum(route_in**2 + np.array([10.0, 5.0]) ** 2)
+        expected += 0.5 * np.sum(h_max[elig] ** 2 + r_max[elig] ** 2)
+        assert c.b_const == pytest.approx(expected)
+
+
+class TestBounds:
+    def test_queue_bound_grows_with_v(self, constants):
+        bounds = [constants.queue_bound(v, delta=2.0) for v in (1.0, 5.0, 25.0)]
+        assert bounds[0] < bounds[1] < bounds[2]
+
+    def test_queue_bound_is_o_of_v(self, constants):
+        """For large V the bound grows linearly: bound(2V) ~ 2 bound(V)."""
+        b1 = constants.queue_bound(1e5, delta=2.0)
+        b2 = constants.queue_bound(2e5, delta=2.0)
+        assert b2 / b1 == pytest.approx(2.0, rel=0.01)
+
+    def test_queue_bound_shrinks_with_delta(self, constants):
+        assert constants.queue_bound(5.0, delta=4.0) < constants.queue_bound(
+            5.0, delta=1.0
+        )
+
+    def test_queue_bound_rejects_bad_inputs(self, constants):
+        with pytest.raises(ValueError):
+            constants.queue_bound(0.0, delta=1.0)
+        with pytest.raises(ValueError):
+            constants.queue_bound(1.0, delta=0.0)
+
+    def test_cost_gap_is_o_one_over_v(self, constants):
+        g1 = constants.cost_gap(1.0)
+        g10 = constants.cost_gap(10.0)
+        assert g10 == pytest.approx(g1 / 10.0)
+
+    def test_cost_gap_grows_with_lookahead(self, constants):
+        assert constants.cost_gap(5.0, lookahead=10) > constants.cost_gap(
+            5.0, lookahead=1
+        )
+
+    def test_cost_gap_t_equals_one_drops_d(self, constants):
+        assert constants.cost_gap(2.0, lookahead=1) == pytest.approx(
+            constants.b_const / 2.0
+        )
+
+    def test_cost_gap_rejects_bad_inputs(self, constants):
+        with pytest.raises(ValueError):
+            constants.cost_gap(0.0)
+        with pytest.raises(ValueError):
+            constants.cost_gap(1.0, lookahead=0)
+
+    def test_c3_definition_matches_eq_39(self, constants):
+        v, delta = 4.0, 2.0
+        d1 = (constants.b_const / v + constants.g_max - constants.g_min) ** 2
+        d2 = 2 * constants.d_const * delta**2 / v**2
+        d3 = 2 * constants.q_max_diff * delta / v * np.sqrt(d1)
+        assert constants.c3(v, delta) == pytest.approx(np.sqrt(d1 + d2 + d3))

@@ -1,0 +1,99 @@
+"""Tests for the provisioning calibration utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core.slackness import check_slackness
+from repro.scenarios import paper_scenario, small_cluster
+from repro.simulation.trace import Scenario
+from repro.workloads import AvailabilityModel, calibrate_workload, provisioning_report
+
+
+class TestProvisioningReport:
+    def test_paper_scenario_is_slack(self):
+        scn = paper_scenario(horizon=300, seed=0)
+        report = provisioning_report(scn)
+        assert report.slack_feasible
+        assert 0.0 < report.mean_utilization < 1.0
+        assert report.mean_utilization <= report.p95_utilization
+        assert report.p95_utilization <= report.peak_utilization
+
+    def test_overload_detected(self):
+        cluster = small_cluster()
+        horizon = 10
+        arrivals = np.full((horizon, 2), 20.0)
+        availability = np.tile(
+            np.stack([dc.max_servers for dc in cluster.datacenters]),
+            (horizon, 1, 1),
+        )
+        scn = Scenario(
+            cluster=cluster,
+            arrivals=arrivals,
+            availability=availability,
+            prices=np.full((horizon, 2), 0.4),
+        )
+        report = provisioning_report(scn)
+        assert not report.slack_feasible
+        assert report.peak_utilization > 1.0
+        assert "OVERLOADED" in report.summary()
+
+    def test_summary_format(self):
+        scn = paper_scenario(horizon=100, seed=1)
+        text = provisioning_report(scn).summary()
+        assert "utilization" in text
+        assert "%" in text
+
+
+class TestCalibrateWorkload:
+    def test_targets_utilization(self):
+        cluster = small_cluster()
+        availability = AvailabilityModel(cluster, floor_fraction=0.8)
+        workload = calibrate_workload(
+            cluster, availability, target_utilization=0.3, cap_fraction=0.9
+        )
+        floor = availability.min_capacity()
+        assert workload.mean_total_work == pytest.approx(0.3 * floor)
+        assert workload.max_total_work == pytest.approx(0.9 * floor)
+
+    def test_generated_scenario_is_slack(self):
+        cluster = small_cluster()
+        availability = AvailabilityModel(cluster, floor_fraction=0.8)
+        workload = calibrate_workload(cluster, availability, target_utilization=0.25)
+        scn = Scenario.generate(
+            cluster,
+            horizon=300,
+            seed=3,
+            workload=workload,
+            availability_model=availability,
+        )
+        # Aggregate utilization feasible; per-site slackness may still
+        # fail for pinned types, so check the aggregate report here.
+        assert provisioning_report(scn).slack_feasible
+
+    def test_rejects_bad_targets(self):
+        cluster = small_cluster()
+        with pytest.raises(ValueError):
+            calibrate_workload(cluster, target_utilization=0.0)
+        with pytest.raises(ValueError):
+            calibrate_workload(cluster, target_utilization=0.95, cap_fraction=0.9)
+        with pytest.raises(ValueError):
+            calibrate_workload(cluster, cap_fraction=1.5)
+
+    def test_kwargs_passthrough(self):
+        cluster = small_cluster()
+        workload = calibrate_workload(cluster, burst_mean_on=4.0)
+        assert workload.burst_mean_on == 4.0
+
+
+class TestMainModule:
+    def test_python_m_repro(self, capsys):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "list"],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0
+        assert "grefar" in proc.stdout

@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.scheduler == "grefar"
+        assert args.v == 7.5
+
+    def test_rejects_unknown_scheduler(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scheduler", "magic"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "grefar" in out
+        assert "fig2" in out
+
+    def test_run_grefar(self, capsys):
+        code = main(["run", "--horizon", "30", "--v", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GreFar" in out
+        assert "Avg energy" in out
+
+    def test_run_each_scheduler(self, capsys):
+        for name in ("always", "threshold", "random", "roundrobin", "trough"):
+            assert main(["run", "--scheduler", name, "--horizon", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "Always" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "--horizon", "25"]) == 0
+        out = capsys.readouterr().out
+        assert "GreFar" in out and "Always" in out and "TroughFilling" in out
+
+    def test_sweep_v(self, capsys):
+        assert main(["sweep-v", "--values", "0.5,10", "--horizon", "25"]) == 0
+        out = capsys.readouterr().out
+        assert "0.5" in out and "10" in out
+
+    def test_sweep_v_rejects_empty(self, capsys):
+        assert main(["sweep-v", "--values", "", "--horizon", "10"]) == 2
+
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1", "--horizon", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+
+    def test_experiment_unknown(self, capsys):
+        assert main(["experiment", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+
+    def test_experiment_theorem1(self, capsys):
+        assert main(["experiment", "theorem1", "--horizon", "48"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 1" in out

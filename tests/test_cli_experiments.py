@@ -1,0 +1,46 @@
+"""CLI coverage for every experiment name and the remaining schedulers."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestExperimentCommands:
+    @pytest.mark.parametrize(
+        "name, horizon",
+        [
+            ("fig1", "48"),
+            ("fig2", "40"),
+            ("fig3", "30"),
+            ("fig4", "30"),
+            ("work", "40"),
+            ("surface", "40"),
+        ],
+    )
+    def test_each_experiment_runs(self, capsys, name, horizon):
+        assert main(["experiment", name, "--horizon", horizon]) == 0
+        out = capsys.readouterr().out
+        assert len(out.strip()) > 0
+
+    def test_fig5_ignores_horizon(self, capsys):
+        assert main(["experiment", "fig5"]) == 0
+        assert "Fig. 5" in capsys.readouterr().out
+
+    def test_theorem1_default_horizon(self, capsys):
+        assert main(["experiment", "theorem1", "--horizon", "48"]) == 0
+        assert "Theorem 1" in capsys.readouterr().out
+
+
+class TestRunMpc:
+    def test_mpc_scheduler_runs(self, capsys):
+        assert main(["run", "--scheduler", "mpc", "--horizon", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "RecedingHorizon" in out
+
+    def test_grefar_with_beta(self, capsys):
+        assert main(
+            ["run", "--scheduler", "grefar", "--v", "10", "--beta", "50",
+             "--horizon", "20"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "beta=50" in out

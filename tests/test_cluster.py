@@ -1,0 +1,121 @@
+"""Unit tests for :class:`repro.model.cluster.Cluster`."""
+
+import numpy as np
+import pytest
+
+from repro.model.cluster import Cluster
+from repro.model.datacenter import DataCenter
+from repro.model.job import Account, JobType
+from repro.model.server import ServerClass
+
+
+def _classes():
+    return (
+        ServerClass(name="a", speed=1.0, active_power=1.0),
+        ServerClass(name="b", speed=0.5, active_power=0.3),
+    )
+
+
+def _dcs():
+    return (
+        DataCenter(name="d0", max_servers=[2, 0]),
+        DataCenter(name="d1", max_servers=[1, 4]),
+    )
+
+
+def _accounts():
+    return (Account(name="m0", fair_share=0.7), Account(name="m1", fair_share=0.3))
+
+
+def _types():
+    return (
+        JobType(name="t0", demand=1.0, eligible_dcs=[0, 1], account=0),
+        JobType(name="t1", demand=2.0, eligible_dcs=[1], account=1),
+    )
+
+
+class TestConstruction:
+    def test_valid(self):
+        c = Cluster(_classes(), _dcs(), _types(), _accounts())
+        assert c.num_datacenters == 2
+        assert c.num_server_classes == 2
+        assert c.num_job_types == 2
+        assert c.num_accounts == 2
+
+    def test_rejects_empty_components(self):
+        with pytest.raises(ValueError):
+            Cluster((), _dcs(), _types(), _accounts())
+        with pytest.raises(ValueError):
+            Cluster(_classes(), (), _types(), _accounts())
+        with pytest.raises(ValueError):
+            Cluster(_classes(), _dcs(), (), _accounts())
+        with pytest.raises(ValueError):
+            Cluster(_classes(), _dcs(), _types(), ())
+
+    def test_rejects_dc_class_mismatch(self):
+        bad_dc = (DataCenter(name="d0", max_servers=[2]),)
+        with pytest.raises(ValueError, match="dimensioned"):
+            Cluster(_classes(), bad_dc, _types(), _accounts())
+
+    def test_rejects_unknown_dc_reference(self):
+        bad_type = (JobType(name="t", demand=1.0, eligible_dcs=[5], account=0),)
+        with pytest.raises(ValueError, match="unknown data center"):
+            Cluster(_classes(), _dcs(), bad_type, _accounts())
+
+    def test_rejects_unknown_account_reference(self):
+        bad_type = (JobType(name="t", demand=1.0, eligible_dcs=[0], account=9),)
+        with pytest.raises(ValueError, match="unknown account"):
+            Cluster(_classes(), _dcs(), bad_type, _accounts())
+
+    def test_rejects_overcommitted_shares(self):
+        bad_accounts = (
+            Account(name="m0", fair_share=0.8),
+            Account(name="m1", fair_share=0.5),
+        )
+        with pytest.raises(ValueError, match="fair shares"):
+            Cluster(_classes(), _dcs(), _types(), bad_accounts)
+
+
+class TestDerived:
+    @pytest.fixture
+    def c(self):
+        return Cluster(_classes(), _dcs(), _types(), _accounts())
+
+    def test_speeds_and_powers(self, c):
+        np.testing.assert_allclose(c.speeds, [1.0, 0.5])
+        np.testing.assert_allclose(c.active_powers, [1.0, 0.3])
+
+    def test_demands(self, c):
+        np.testing.assert_allclose(c.demands, [1.0, 2.0])
+
+    def test_fair_shares(self, c):
+        np.testing.assert_allclose(c.fair_shares, [0.7, 0.3])
+
+    def test_account_of_type(self, c):
+        np.testing.assert_array_equal(c.account_of_type, [0, 1])
+
+    def test_eligibility_matrix(self, c):
+        expected = np.array([[True, False], [True, True]])
+        np.testing.assert_array_equal(c.eligibility_matrix(), expected)
+
+    def test_account_matrix(self, c):
+        expected = np.array([[True, False], [False, True]])
+        np.testing.assert_array_equal(c.account_matrix(), expected)
+
+    def test_max_route_matrix_zero_when_ineligible(self, c):
+        mat = c.max_route_matrix()
+        assert mat[0, 1] == 0.0
+        assert mat[1, 1] > 0
+
+    def test_max_service_matrix_zero_when_ineligible(self, c):
+        mat = c.max_service_matrix()
+        assert mat[0, 1] == 0.0
+
+    def test_max_total_capacity(self, c):
+        # d0: 2*1.0; d1: 1*1.0 + 4*0.5 = 3.0 -> total 5.0
+        assert c.max_total_capacity() == pytest.approx(5.0)
+
+    def test_describe_mentions_all_parts(self, c):
+        text = c.describe()
+        assert "d0" in text and "d1" in text
+        assert "m0" in text and "m1" in text

@@ -1,0 +1,113 @@
+"""Tests for the parallelism constraint (Section III-B extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.constraints import parallelism_service_bounds
+from repro.core.grefar import GreFarScheduler
+from repro.model.action import Action
+from repro.model.cluster import Cluster
+from repro.model.datacenter import DataCenter
+from repro.model.job import Account, JobType
+from repro.model.queues import QueueNetwork
+from repro.model.server import ServerClass
+from repro.model.state import ClusterState
+from repro.schedulers import AlwaysScheduler
+
+
+def _limited_cluster(parallelism: float | None = 2.0) -> Cluster:
+    """One site, one server class (speed 1), one big-job type."""
+    return Cluster(
+        server_classes=(ServerClass(name="s", speed=1.0, active_power=0.5),),
+        datacenters=(DataCenter(name="d", max_servers=[20]),),
+        job_types=(
+            JobType(
+                name="big",
+                demand=10.0,
+                eligible_dcs=(0,),
+                account=0,
+                max_arrivals=5,
+                max_route=5,
+                max_service=5.0,
+                max_parallelism=parallelism,
+            ),
+        ),
+        accounts=(Account(name="a", fair_share=1.0),),
+    )
+
+
+class TestJobTypeField:
+    def test_default_is_unbounded(self):
+        jt = JobType(name="t", demand=1.0, eligible_dcs=[0], account=0)
+        assert jt.max_parallelism is None
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            JobType(
+                name="t", demand=1.0, eligible_dcs=[0], account=0, max_parallelism=0.0
+            )
+
+
+class TestBoundsComputation:
+    def test_unbounded_types_get_inf(self, cluster, state):
+        bounds = parallelism_service_bounds(cluster, state, np.full((2, 2), 3.0))
+        assert np.all(np.isinf(bounds))
+
+    def test_bound_formula(self):
+        cluster = _limited_cluster(parallelism=2.0)
+        state = ClusterState(np.array([[20.0]]), [0.3])
+        q = np.array([[3.0]])
+        bounds = parallelism_service_bounds(cluster, state, q)
+        # 3 jobs x 2 servers x speed 1 / demand 10 = 0.6 jobs per slot.
+        assert bounds[0, 0] == pytest.approx(0.6)
+
+    def test_no_servers_means_zero_bound(self):
+        cluster = _limited_cluster(parallelism=2.0)
+        state = ClusterState(np.array([[0.0]]), [0.3])
+        bounds = parallelism_service_bounds(cluster, state, np.array([[3.0]]))
+        assert bounds[0, 0] == pytest.approx(0.0)
+
+    def test_rejects_bad_shape(self, cluster, state):
+        with pytest.raises(ValueError):
+            parallelism_service_bounds(cluster, state, np.zeros((3, 3)))
+
+
+class TestSchedulerIntegration:
+    def _queues_with_one_job(self, cluster):
+        q = QueueNetwork(cluster)
+        q.step(Action.idle(cluster), np.array([1.0]), t=0)
+        route = np.array([[1.0]])
+        q.step(
+            Action(route, np.zeros((1, 1)), np.zeros((1, 1))),
+            np.zeros(1),
+            t=1,
+        )
+        return q
+
+    def test_limited_job_takes_multiple_slots(self):
+        """One 10-work job, 2-server cap: at most 0.2 job/slot progress,
+        even though 20 servers sit idle."""
+        cluster = _limited_cluster(parallelism=2.0)
+        state = ClusterState(np.array([[20.0]]), [0.001])  # nearly free power
+        scheduler = AlwaysScheduler(cluster)
+        queues = self._queues_with_one_job(cluster)
+        action = scheduler.decide(2, state, queues)
+        assert action.serve[0, 0] <= 0.2 + 1e-9
+        assert action.serve[0, 0] > 0
+
+    def test_unlimited_job_finishes_in_one_slot(self):
+        cluster = _limited_cluster(parallelism=None)
+        state = ClusterState(np.array([[20.0]]), [0.001])
+        scheduler = AlwaysScheduler(cluster)
+        queues = self._queues_with_one_job(cluster)
+        action = scheduler.decide(2, state, queues)
+        assert action.serve[0, 0] == pytest.approx(1.0)
+
+    def test_grefar_respects_parallelism(self):
+        cluster = _limited_cluster(parallelism=4.0)
+        state = ClusterState(np.array([[20.0]]), [0.001])
+        scheduler = GreFarScheduler(cluster, v=1.0)
+        queues = self._queues_with_one_job(cluster)
+        action = scheduler.decide(2, state, queues)
+        # 1 job x 4 servers x speed 1 / demand 10 = 0.4 jobs max.
+        assert action.serve[0, 0] <= 0.4 + 1e-9

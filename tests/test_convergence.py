@@ -1,0 +1,36 @@
+"""Tests for the O(1/V) convergence experiment."""
+
+import pytest
+
+from repro.experiments import convergence
+
+
+class TestConvergence:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return convergence.run(horizon=120, lookahead=24, v_values=(2.0, 8.0, 32.0))
+
+    def test_shapes(self, result):
+        assert len(result.gaps) == 3
+        assert len(result.grefar_costs) == 3
+
+    def test_gap_monotone(self, result):
+        assert result.gap_monotone_decreasing
+
+    def test_gaps_positive(self, result):
+        """GreFar cannot beat the full-information comparator."""
+        assert all(g > -1e-6 for g in result.gaps)
+
+    def test_fit_slope_positive(self, result):
+        # More 1/V -> more gap: the fitted b must be positive.
+        assert result.fit_slope > 0
+
+    def test_rejects_bad_horizon(self):
+        with pytest.raises(ValueError, match="multiple"):
+            convergence.run(horizon=100, lookahead=24)
+
+    def test_main_prints(self, capsys):
+        convergence.main(horizon=48)
+        out = capsys.readouterr().out
+        assert "convergence" in out
+        assert "R^2" in out

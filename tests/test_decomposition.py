@@ -1,0 +1,70 @@
+"""Tests for the temporal/spatial saving decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.decomposition import decompose_energy_saving
+from repro.core.grefar import GreFarScheduler
+from repro.scenarios import paper_scenario
+from repro.schedulers import AlwaysScheduler
+from repro.simulation.simulator import Simulator
+
+
+@pytest.fixture(scope="module")
+def runs():
+    scenario = paper_scenario(horizon=300, seed=2)
+    grefar = Simulator(scenario, GreFarScheduler(scenario.cluster, v=30.0)).run()
+    always = Simulator(scenario, AlwaysScheduler(scenario.cluster)).run()
+    return scenario, grefar, always
+
+
+class TestDecomposition:
+    def test_self_decomposition_is_zero_saving(self, runs):
+        scenario, grefar, _ = runs
+        decomp = decompose_energy_saving(scenario, grefar, grefar)
+        # Against itself, the spatial term vanishes by construction.
+        assert decomp.spatial_saving == pytest.approx(0.0, abs=1e-6)
+
+    def test_grefar_has_positive_temporal_saving(self, runs):
+        scenario, grefar, always = runs
+        decomp = decompose_energy_saving(scenario, grefar, always)
+        # The whole point of deferral: pay below-average prices.
+        assert decomp.temporal_saving > 0
+
+    def test_always_has_no_temporal_skill(self, runs):
+        scenario, grefar, always = runs
+        decomp = decompose_energy_saving(scenario, always, always)
+        # Always serves one slot after arrival: its bill is within noise
+        # of the time-blind counterfactual.
+        assert abs(decomp.temporal_saving) < 0.1 * decomp.actual_cost
+
+    def test_components_sum_to_total(self, runs):
+        scenario, grefar, always = runs
+        decomp = decompose_energy_saving(scenario, grefar, always)
+        assert decomp.total_saving == pytest.approx(
+            decomp.temporal_saving + decomp.spatial_saving
+        )
+        assert decomp.total_saving == pytest.approx(
+            decomp.reference_cost - decomp.actual_cost
+        )
+
+    def test_summary_mentions_both_terms(self, runs):
+        scenario, grefar, always = runs
+        decomp = decompose_energy_saving(scenario, grefar, always)
+        text = decomp.summary()
+        assert "temporal" in text and "spatial" in text
+
+    def test_rejects_mismatched_horizons(self, runs):
+        scenario, grefar, _ = runs
+        short = Simulator(
+            scenario, AlwaysScheduler(scenario.cluster)
+        ).run(100)
+        with pytest.raises(ValueError, match="horizons"):
+            decompose_energy_saving(scenario, grefar, short)
+
+    def test_actual_cost_close_to_measured_energy(self, runs):
+        """The linear reconstruction tracks the simulator's own bill."""
+        scenario, grefar, _ = runs
+        decomp = decompose_energy_saving(scenario, grefar, grefar)
+        measured = sum(grefar.metrics.energy_cost)
+        assert decomp.actual_cost == pytest.approx(measured, rel=0.05)

@@ -1,0 +1,74 @@
+"""Tests for the delay-percentile histograms in DelayStats."""
+
+import numpy as np
+import pytest
+
+from repro.core.grefar import GreFarScheduler
+from repro.model.queues import DelayStats
+from repro.simulation.simulator import Simulator
+
+
+class TestHistogramPercentile:
+    def test_single_value(self):
+        stats = DelayStats(1, 1)
+        stats.record_served(0, 0, count=5.0, delay=3.0)
+        assert stats.dc_delay_percentile(0.5, dc=0) == 3.0
+        assert stats.dc_delay_percentile(1.0, dc=0) == 3.0
+
+    def test_median_of_two_masses(self):
+        stats = DelayStats(1, 1)
+        stats.record_served(0, 0, count=9.0, delay=1.0)
+        stats.record_served(0, 0, count=1.0, delay=10.0)
+        assert stats.dc_delay_percentile(0.5, dc=0) == 1.0
+        assert stats.dc_delay_percentile(0.95, dc=0) == 10.0
+
+    def test_merged_across_sites(self):
+        stats = DelayStats(2, 1)
+        stats.record_served(0, 0, count=1.0, delay=1.0)
+        stats.record_served(1, 0, count=1.0, delay=9.0)
+        assert stats.dc_delay_percentile(1.0) == 9.0
+        assert stats.dc_delay_percentile(0.25) == 1.0
+
+    def test_front_percentile(self):
+        stats = DelayStats(1, 2)
+        stats.record_routed(0, count=4.0, delay=2.0)
+        stats.record_routed(1, count=1.0, delay=7.0)
+        assert stats.front_delay_percentile(0.5) == 2.0
+        assert stats.front_delay_percentile(1.0) == 7.0
+
+    def test_empty_is_zero(self):
+        stats = DelayStats(1, 1)
+        assert stats.dc_delay_percentile(0.9, dc=0) == 0.0
+        assert stats.front_delay_percentile(0.9) == 0.0
+
+    def test_rejects_bad_quantile(self):
+        stats = DelayStats(1, 1)
+        with pytest.raises(ValueError):
+            stats.dc_delay_percentile(1.5, dc=0)
+
+
+class TestEndToEnd:
+    def test_percentiles_bound_the_mean(self, scenario):
+        result = Simulator(scenario, GreFarScheduler(scenario.cluster, v=20.0)).run()
+        stats = result.queues.stats
+        p50 = stats.dc_delay_percentile(0.5)
+        p95 = stats.dc_delay_percentile(0.95)
+        mean = stats.mean_dc_delay()
+        assert p50 <= p95
+        assert p50 <= mean + 1.0  # integer buckets vs fractional mean
+        assert p95 >= mean - 1.0
+
+    def test_tail_grows_with_v(self, scenario):
+        tails = []
+        for v in (0.5, 50.0):
+            result = Simulator(scenario, GreFarScheduler(scenario.cluster, v=v)).run()
+            tails.append(result.queues.stats.dc_delay_percentile(0.95))
+        assert tails[1] >= tails[0]
+
+    def test_histogram_mass_equals_completions(self, scenario):
+        result = Simulator(scenario, GreFarScheduler(scenario.cluster, v=5.0)).run()
+        stats = result.queues.stats
+        hist_mass = sum(
+            sum(h.values()) for h in stats.dc_delay_histogram
+        )
+        assert hist_mass == pytest.approx(stats.dc_completed.sum(), rel=1e-9)

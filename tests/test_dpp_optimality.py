@@ -1,0 +1,116 @@
+"""Property test: GreFar's action minimizes the drift-plus-penalty (14).
+
+This is the central correctness property of the whole reproduction:
+Algorithm 1 *is* "choose the action minimizing (14)", and Theorem 1
+rests entirely on that minimization being exact.  For random queue
+states, prices and availabilities, the action GreFar returns must score
+no worse on (14) than any random feasible alternative action (for the
+service part, which carries the optimization; the routing part is
+checked per-coefficient).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.grefar import GreFarScheduler
+from repro.model.action import Action
+from repro.model.queues import QueueNetwork
+from repro.model.state import ClusterState
+from repro.optimize.slot_problem import SlotServiceProblem
+from repro.scenarios import small_cluster
+
+
+def _random_setup(seed: int):
+    cluster = small_cluster()
+    rng = np.random.default_rng(seed)
+    availability = np.stack(
+        [np.floor(dc.max_servers * rng.uniform(0.4, 1.0)) for dc in cluster.datacenters]
+    )
+    state = ClusterState(availability, rng.uniform(0.05, 1.5, size=2))
+    queues = QueueNetwork(cluster)
+    # Load random backlog into the central and site queues.
+    queues.step(
+        Action.idle(cluster),
+        rng.integers(0, 8, size=2).astype(float),
+        t=0,
+    )
+    elig = cluster.eligibility_matrix()
+    route = rng.integers(0, 6, size=(2, 2)).astype(float) * elig
+    queues.step(
+        Action(route, np.zeros((2, 2)), np.zeros((2, 2))),
+        rng.integers(0, 8, size=2).astype(float),
+        t=1,
+    )
+    return cluster, rng, state, queues
+
+
+def _dpp_value(problem: SlotServiceProblem, front, dc, route, h) -> float:
+    """Evaluate expression (14) for a full action (route + service)."""
+    value = problem.objective(h)  # V g(t) - sum q h  (service part)
+    # Routing part: sum_ij (q_ij - Q_j) r_ij.
+    value += float(np.sum((dc - front[np.newaxis, :]) * route))
+    return value
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=100_000),
+    st.floats(min_value=0.0, max_value=40.0),
+    st.floats(min_value=0.0, max_value=200.0),
+)
+def test_grefar_action_minimizes_dpp(seed, v, beta):
+    cluster, rng, state, queues = _random_setup(seed)
+    scheduler = GreFarScheduler(cluster, v=v, beta=beta)
+    action = scheduler.decide(2, state, queues)
+
+    front = queues.front
+    dc = queues.dc
+    problem = scheduler._problem(state, dc)
+    chosen = _dpp_value(problem, front, dc, action.route, np.array(action.serve))
+
+    elig = cluster.eligibility_matrix()
+    tolerance = 1e-6 if beta == 0 else 5e-3 * (1 + abs(chosen))
+    for _ in range(8):
+        # Random feasible alternative: physical routing + feasible service.
+        h_alt = problem.clip_feasible(
+            rng.uniform(0, 1, size=(2, 2)) * problem.h_upper
+        )
+        route_alt = np.zeros((2, 2))
+        for j in range(2):
+            budget = int(np.floor(front[j]))
+            sites = [i for i in range(2) if elig[i, j]]
+            for i in sites:
+                take = rng.integers(0, budget + 1)
+                route_alt[i, j] = take
+                budget -= take
+        alternative = _dpp_value(problem, front, dc, route_alt, h_alt)
+        assert chosen <= alternative + tolerance
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_grefar_beats_always_and_idle_on_dpp(seed):
+    """The minimizer must (weakly) beat two canonical policies on (14)."""
+    from repro.schedulers import AlwaysScheduler
+
+    cluster, _, state, queues = _random_setup(seed)
+    scheduler = GreFarScheduler(cluster, v=10.0)
+    action = scheduler.decide(2, state, queues)
+
+    front = queues.front
+    dc = queues.dc
+    problem = scheduler._problem(state, dc)
+    chosen = _dpp_value(problem, front, dc, action.route, np.array(action.serve))
+
+    idle = Action.idle(cluster)
+    idle_value = _dpp_value(problem, front, dc, idle.route, np.array(idle.serve))
+    assert chosen <= idle_value + 1e-9
+
+    always_action = AlwaysScheduler(cluster).decide(2, state, queues)
+    h_always = problem.clip_feasible(np.array(always_action.serve))
+    always_value = _dpp_value(
+        problem, front, dc, always_action.route, h_always
+    )
+    assert chosen <= always_value + 1e-9

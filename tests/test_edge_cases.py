@@ -1,0 +1,193 @@
+"""Edge-case coverage across modules: boundaries the main suites skip."""
+
+import numpy as np
+import pytest
+
+from repro.core.grefar import GreFarScheduler
+from repro.model.action import Action
+from repro.model.queues import QueueNetwork
+from repro.model.state import ClusterState
+from repro.optimize import SlotServiceProblem, solve_greedy
+from repro.scenarios import small_cluster, small_scenario
+from repro.schedulers import TroughFillingScheduler
+from repro.schedulers.lookahead import LookaheadPolicy
+from repro.simulation.metrics import MetricsCollector
+from repro.workloads import DiurnalRate, PriceModel
+
+
+class TestGreedyBoundaries:
+    def test_zero_queue_weights_serve_nothing_at_positive_v(self, cluster, state):
+        problem = SlotServiceProblem(
+            cluster=cluster,
+            state=state,
+            queue_weights=np.zeros((2, 2)),
+            h_upper=np.full((2, 2), 5.0),
+            v=1.0,
+        )
+        np.testing.assert_allclose(solve_greedy(problem), 0.0)
+
+    def test_zero_upper_bounds(self, cluster, state):
+        problem = SlotServiceProblem(
+            cluster=cluster,
+            state=state,
+            queue_weights=np.full((2, 2), 10.0),
+            h_upper=np.zeros((2, 2)),
+            v=0.0,
+        )
+        np.testing.assert_allclose(solve_greedy(problem), 0.0)
+
+    def test_zero_availability_site(self, cluster):
+        state = ClusterState(np.array([[0.0, 0.0], [10.0, 10.0]]), [0.4, 0.5])
+        problem = SlotServiceProblem(
+            cluster=cluster,
+            state=state,
+            queue_weights=np.full((2, 2), 10.0),
+            h_upper=np.full((2, 2), 5.0),
+            v=0.0,
+        )
+        h = solve_greedy(problem)
+        assert h[0].sum() == 0.0
+        assert h[1].sum() > 0
+
+    def test_exact_threshold_does_not_serve(self, tiny_cluster):
+        """Value == cost: the strict inequality means idle (saves energy)."""
+        state = ClusterState(np.array([[4.0]]), [1.0])
+        # value per work = q/d = 1.0; cost per work = V*price*p/s = 1*1*0.5.
+        problem = SlotServiceProblem(
+            cluster=tiny_cluster,
+            state=state,
+            queue_weights=np.array([[0.5]]),  # value 0.5 == cost 0.5
+            h_upper=np.array([[5.0]]),
+            v=1.0,
+        )
+        assert solve_greedy(problem).sum() == 0.0
+
+
+class TestQueueNetworkEdges:
+    def test_clip_reduces_largest_senders_first(self, cluster):
+        q = QueueNetwork(cluster)
+        q.step(Action.idle(cluster), np.array([3.0, 0.0]), t=0)
+        route = np.zeros((2, 2))
+        route[0, 0] = 1.0
+        route[1, 0] = 4.0  # the big sender gets trimmed
+        clipped = q.clip_to_content(
+            Action(route, np.zeros((2, 2)), np.zeros((2, 2)))
+        )
+        assert clipped.route[0, 0] == pytest.approx(1.0)
+        assert clipped.route[1, 0] == pytest.approx(2.0)
+
+    def test_many_generations_fifo(self, cluster):
+        """Ten single-job batches drain strictly oldest-first."""
+        q = QueueNetwork(cluster)
+        for t in range(10):
+            q.step(Action.idle(cluster), np.array([1.0, 0.0]), t=t)
+        route = np.zeros((2, 2))
+        route[0, 0] = 10.0
+        q.step(Action(route, np.zeros((2, 2)), np.zeros((2, 2))), np.zeros(2), t=10)
+        serve = np.zeros((2, 2))
+        serve[0, 0] = 1.0
+        for t in range(11, 21):
+            q.step(Action(np.zeros((2, 2)), serve, np.zeros((2, 2))), np.zeros(2), t=t)
+        # All ten served; front delays were 10..1 -> mean 5.5.
+        stats = q.stats
+        assert stats.dc_completed[0, 0] == pytest.approx(10.0)
+        assert stats.mean_front_delay(0) == pytest.approx(5.5)
+
+    def test_zero_count_arrivals_leave_no_batches(self, cluster):
+        q = QueueNetwork(cluster)
+        q.step(Action.idle(cluster), np.zeros(2), t=0)
+        assert all(len(ledger) == 0 for ledger in q._front_ledger)
+
+
+class TestMetricsEdges:
+    def test_front_delay_series(self, cluster):
+        q = QueueNetwork(cluster)
+        m = MetricsCollector(num_datacenters=2)
+        q.step(Action.idle(cluster), np.array([2.0, 0.0]), t=0)
+        m.record(0, 0, 0, np.zeros(2), 0, q)
+        route = np.zeros((2, 2))
+        route[0, 0] = 2.0
+        q.step(Action(route, np.zeros((2, 2)), np.zeros((2, 2))), np.zeros(2), t=1)
+        m.record(0, 0, 0, np.zeros(2), 0, q)
+        series = m.avg_front_delay_series()
+        assert series[0] == 0.0
+        assert series[1] == pytest.approx(1.0)
+
+    def test_running_average_with_matrix_values(self):
+        m = MetricsCollector(num_datacenters=2)
+        values = np.array([[1.0, 2.0], [3.0, 4.0]])
+        avg = m._running_average(values)
+        np.testing.assert_allclose(avg, [[1.0, 2.0], [2.0, 3.0]])
+
+
+class TestLookaheadEdges:
+    def test_single_slot_frames(self):
+        scn = small_scenario(horizon=12, seed=3)
+        policy = LookaheadPolicy(
+            scn.cluster,
+            scn.arrivals,
+            scn.availability,
+            scn.prices,
+            lookahead=1,
+        )
+        solution = policy.solve()
+        assert solution.frame_costs.shape == (12,)
+
+    def test_whole_horizon_frame(self):
+        scn = small_scenario(horizon=12, seed=3)
+        policy = LookaheadPolicy(
+            scn.cluster,
+            scn.arrivals,
+            scn.availability,
+            scn.prices,
+            lookahead=12,
+        )
+        solution = policy.solve()
+        assert solution.frame_costs.shape == (1,)
+
+
+class TestWorkloadEdges:
+    def test_diurnal_zero_amplitude_is_flat(self, rng):
+        rates = DiurnalRate(base=3.0, amplitude=0.0).rates(50, rng)
+        np.testing.assert_allclose(rates, 3.0)
+
+    def test_price_model_custom_phases(self, rng):
+        model = PriceModel([0.5, 0.5], phase_offsets=[0.0, 12.0], volatility=0.0)
+        prices = model.generate(48, rng)
+        # Half-period offset: the two sites' diurnal cycles oppose.
+        corr = np.corrcoef(prices[:, 0], prices[:, 1])[0, 1]
+        assert corr < 0.0
+
+    def test_price_model_zero_volatility_deterministic(self, rng):
+        model = PriceModel([0.4], volatility=0.0)
+        a = model.generate(24, np.random.default_rng(1))
+        b = model.generate(24, np.random.default_rng(2))
+        np.testing.assert_allclose(a, b)
+
+
+class TestSchedulerEdges:
+    def test_grefar_v_zero_serves_eagerly(self, scenario):
+        from repro.simulation.simulator import Simulator
+
+        result = Simulator(scenario, GreFarScheduler(scenario.cluster, v=0.0)).run(40)
+        # V=0 ignores prices entirely: delay matches Always (~1 slot).
+        assert result.summary.avg_dc_delay[1] < 1.3
+
+    def test_trough_quantile_one_behaves_like_always(self, scenario):
+        from repro.schedulers import AlwaysScheduler
+        from repro.simulation.simulator import Simulator
+
+        trough = Simulator(
+            scenario,
+            TroughFillingScheduler(scenario.cluster, quantile=1.0),
+        ).run(60)
+        always = Simulator(scenario, AlwaysScheduler(scenario.cluster)).run(60)
+        assert trough.summary.avg_energy_cost == pytest.approx(
+            always.summary.avg_energy_cost, rel=0.05
+        )
+
+    def test_fig2_custom_v_values(self):
+        from repro.experiments import fig2_v_sweep
+
+        result = fig2_v_sweep.run(horizon=40, seed=0, v_values=(1.0, 2.0, 3.0))
+        assert len(result.final_energy) == 3

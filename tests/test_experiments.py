@@ -1,0 +1,136 @@
+"""Smoke + shape tests for the experiment harness (short horizons).
+
+The full-length shape assertions live in ``benchmarks/``; these tests
+ensure every experiment module runs end-to-end, returns well-formed
+results and prints without raising.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig1_trace,
+    fig2_v_sweep,
+    fig3_beta,
+    fig4_vs_always,
+    fig5_snapshot,
+    table1,
+    theorem1,
+    work_distribution,
+)
+
+
+class TestTable1:
+    def test_run(self):
+        result = table1.run(horizon=200, seed=0)
+        np.testing.assert_allclose(result.speeds, [1.00, 0.75, 1.15])
+        np.testing.assert_allclose(result.powers, [1.00, 0.60, 1.20])
+        assert all(p > 0 for p in result.avg_prices)
+        for i in range(3):
+            assert result.cost_per_unit_work[i] == pytest.approx(
+                result.avg_prices[i] * result.powers[i] / result.speeds[i]
+            )
+
+    def test_main_prints(self, capsys):
+        table1.main(horizon=100)
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "#1" in out
+
+
+class TestFig1:
+    def test_run(self):
+        result = fig1_trace.run(horizon=72, seed=0)
+        assert result.prices.shape == (72, 3)
+        assert result.org_work.shape == (72, 4)
+        assert len(result.price_means) == 3
+        # Prices vary hour to hour.
+        assert all(cv > 0.05 for cv in result.price_cv)
+        # Workloads are bursty (peaks well above the mean).
+        assert all(p > 1.5 for p in result.org_peak_to_mean)
+
+    def test_main_prints(self, capsys):
+        fig1_trace.main(horizon=48)
+        out = capsys.readouterr().out
+        assert "Fig. 1" in out
+
+
+class TestFig2:
+    def test_run_short(self):
+        result = fig2_v_sweep.run(horizon=60, seed=0, v_values=(0.1, 20.0))
+        assert len(result.final_energy) == 2
+        assert len(result.energy_series[0]) == 60
+        # Delay ordering is already visible on short runs.
+        assert result.final_delay_dc1[1] >= result.final_delay_dc1[0] - 0.1
+
+    def test_main_prints(self, capsys):
+        fig2_v_sweep.main(horizon=40)
+        out = capsys.readouterr().out
+        assert "Fig. 2" in out
+
+
+class TestFig3:
+    def test_run_short(self):
+        result = fig3_beta.run(horizon=40, seed=0)
+        assert result.beta_values == (0.0, 100.0)
+        assert len(result.final_fairness) == 2
+
+    def test_main_prints(self, capsys):
+        fig3_beta.main(horizon=30)
+        out = capsys.readouterr().out
+        assert "Fig. 3" in out
+
+
+class TestFig4:
+    def test_run_short(self):
+        result = fig4_vs_always.run(horizon=40, seed=0)
+        assert result.always_delay_dc1[1] == pytest.approx(1.0, abs=0.3)
+
+    def test_main_prints(self, capsys):
+        fig4_vs_always.main(horizon=30)
+        out = capsys.readouterr().out
+        assert "Always" in out
+
+
+class TestFig5:
+    def test_run_short(self):
+        result = fig5_snapshot.run(warmup=48, window=24, seed=0)
+        assert result.prices_dc1.shape == (24,)
+        assert result.grefar_work_dc1.shape == (24,)
+
+    def test_main_prints(self, capsys):
+        fig5_snapshot.main(warmup=24, window=24)
+        out = capsys.readouterr().out
+        assert "Fig. 5" in out
+        assert "correlation" in out
+
+
+class TestWorkDistribution:
+    def test_run_short(self):
+        result = work_distribution.run(horizon=80, seed=0)
+        assert len(result.avg_work_per_dc) == 3
+        assert len(result.cost_per_unit_work) == 3
+
+    def test_main_prints(self, capsys):
+        work_distribution.main(horizon=60)
+        out = capsys.readouterr().out
+        assert "Work distribution" in out
+
+
+class TestTheorem1:
+    def test_run_short(self):
+        result = theorem1.run(horizon=96, lookahead=24, seed=0, v_values=(1.0, 10.0))
+        assert result.queue_bound_holds
+        assert result.cost_bound_holds
+        assert result.delta > 0
+        # The analytic cost bound shrinks with V.
+        assert result.cost_bounds[1] < result.cost_bounds[0]
+
+    def test_rejects_bad_horizon(self):
+        with pytest.raises(ValueError):
+            theorem1.run(horizon=100, lookahead=24)
+
+    def test_main_prints(self, capsys):
+        theorem1.main(horizon=48, lookahead=24)
+        out = capsys.readouterr().out
+        assert "Theorem 1" in out

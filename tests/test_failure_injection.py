@@ -1,0 +1,186 @@
+"""Failure injection: degenerate and adversarial conditions.
+
+The paper's guarantee holds for *arbitrary* state processes, so the
+implementation must not fall over when the environment turns hostile:
+sites with zero availability, free or absurd prices, empty workloads,
+total blackouts, and sustained overload.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.grefar import GreFarScheduler
+from repro.model.cluster import Cluster
+from repro.model.datacenter import DataCenter
+from repro.model.job import Account, JobType
+from repro.model.server import ServerClass
+from repro.scenarios import small_cluster
+from repro.schedulers import AlwaysScheduler, TroughFillingScheduler
+from repro.simulation.simulator import Simulator
+from repro.simulation.trace import Scenario
+
+
+def _scenario(cluster, arrivals, availability, prices):
+    return Scenario(
+        cluster=cluster,
+        arrivals=arrivals,
+        availability=availability,
+        prices=prices,
+    )
+
+
+def _full_availability(cluster, horizon):
+    return np.tile(
+        np.stack([dc.max_servers for dc in cluster.datacenters]), (horizon, 1, 1)
+    )
+
+
+@pytest.fixture
+def base(cluster):
+    horizon = 50
+    rng = np.random.default_rng(0)
+    arrivals = rng.integers(0, 4, size=(horizon, 2)).astype(float)
+    availability = _full_availability(cluster, horizon)
+    prices = rng.uniform(0.2, 0.8, size=(horizon, 2))
+    return horizon, arrivals, availability, prices
+
+
+class TestBlackouts:
+    def test_total_blackout_window(self, cluster, base):
+        """All sites lose every server for 10 slots: queues grow, nothing
+        crashes, work resumes afterwards and eventually completes."""
+        horizon, arrivals, availability, prices = base
+        availability = availability.copy()
+        availability[20:30] = 0.0
+        scn = _scenario(cluster, arrivals, availability, prices)
+        result = Simulator(scn, AlwaysScheduler(cluster), validate=True).run()
+        s = result.summary
+        assert s.total_served_jobs + result.queues.total_backlog() == pytest.approx(
+            s.total_arrived_jobs, abs=1e-6
+        )
+        # Blackout slots processed zero work.
+        work = result.metrics.work_per_dc_series()
+        assert np.all(work[20:30] == 0.0)
+        # Work resumed after the blackout.
+        assert work[30:].sum() > 0
+
+    def test_one_site_permanently_down(self, cluster, base):
+        horizon, arrivals, availability, prices = base
+        availability = availability.copy()
+        availability[:, 0, :] = 0.0  # site 0 never available
+        scn = _scenario(cluster, arrivals, availability, prices)
+        result = Simulator(scn, GreFarScheduler(cluster, v=5.0), validate=True).run()
+        work = result.metrics.work_per_dc_series()
+        assert work[:, 0].sum() == pytest.approx(0.0)
+        assert work[:, 1].sum() > 0
+
+
+class TestDegeneratePrices:
+    def test_free_electricity(self, cluster, base):
+        horizon, arrivals, availability, _ = base
+        prices = np.zeros((horizon, 2))
+        scn = _scenario(cluster, arrivals, availability, prices)
+        result = Simulator(scn, GreFarScheduler(cluster, v=100.0), validate=True).run()
+        # Free power: even a huge V serves everything promptly.
+        assert result.summary.avg_energy_cost == pytest.approx(0.0)
+        assert result.summary.avg_dc_delay[1] < 1.5
+
+    def test_absurd_price_spike(self, cluster, base):
+        horizon, arrivals, availability, prices = base
+        prices = prices.copy()
+        prices[25] = 1e6
+        scn = _scenario(cluster, arrivals, availability, prices)
+        result = Simulator(scn, GreFarScheduler(cluster, v=5.0), validate=True).run()
+        # The spike slot is avoided entirely.
+        work = result.metrics.work_per_dc_series()
+        assert work[25].sum() == pytest.approx(0.0)
+
+
+class TestDegenerateWorkloads:
+    def test_no_arrivals_at_all(self, cluster, base):
+        horizon, _, availability, prices = base
+        scn = _scenario(cluster, np.zeros((horizon, 2)), availability, prices)
+        for scheduler in (
+            GreFarScheduler(cluster, v=5.0),
+            AlwaysScheduler(cluster),
+            TroughFillingScheduler(cluster),
+        ):
+            result = Simulator(scn, scheduler, validate=True).run()
+            assert result.summary.total_served_jobs == 0.0
+            assert result.summary.avg_energy_cost == pytest.approx(0.0)
+
+    def test_single_burst_then_silence(self, cluster, base):
+        horizon, _, availability, prices = base
+        arrivals = np.zeros((horizon, 2))
+        arrivals[0] = [10.0, 4.0]
+        scn = _scenario(cluster, arrivals, availability, prices)
+        result = Simulator(scn, GreFarScheduler(cluster, v=2.0), validate=True).run()
+        assert result.summary.total_served_jobs == pytest.approx(14.0)
+
+    def test_sustained_overload_keeps_running(self, cluster, base):
+        """Arrivals above capacity: queues grow, nothing crashes, and the
+        served work tracks the capacity."""
+        horizon, _, availability, prices = base
+        arrivals = np.full((horizon, 2), 25.0)  # far beyond capacity
+        arrivals[:, 1] = 5.0
+        scn = _scenario(cluster, arrivals, availability, prices)
+        result = Simulator(scn, AlwaysScheduler(cluster), validate=True).run()
+        backlog = result.queues.total_backlog()
+        assert backlog > 0
+        # Served work per slot hovers at capacity (36 work = 36 type-0 jobs
+        # equivalents; mixed with type 1 it is below arrivals).
+        assert result.summary.total_served_jobs < result.summary.total_arrived_jobs
+
+
+class TestDegenerateClusters:
+    def test_single_site_single_type(self):
+        cluster = Cluster(
+            server_classes=(ServerClass(name="s", speed=1.0, active_power=1.0),),
+            datacenters=(DataCenter(name="d", max_servers=[5]),),
+            job_types=(
+                JobType(name="j", demand=1.0, eligible_dcs=(0,), account=0),
+            ),
+            accounts=(Account(name="a", fair_share=1.0),),
+        )
+        horizon = 20
+        rng = np.random.default_rng(1)
+        scn = _scenario(
+            cluster,
+            rng.integers(0, 3, size=(horizon, 1)).astype(float),
+            np.full((horizon, 1, 1), 5.0),
+            rng.uniform(0.1, 0.9, size=(horizon, 1)),
+        )
+        result = Simulator(scn, GreFarScheduler(cluster, v=3.0), validate=True).run()
+        s = result.summary
+        assert s.total_served_jobs + result.queues.total_backlog() == pytest.approx(
+            s.total_arrived_jobs, abs=1e-6
+        )
+
+    def test_zero_share_account(self):
+        """An account with zero fairness share still gets served (its jobs
+        have queue weight; fairness just doesn't favor it)."""
+        cluster = Cluster(
+            server_classes=(ServerClass(name="s", speed=1.0, active_power=1.0),),
+            datacenters=(DataCenter(name="d", max_servers=[5]),),
+            job_types=(
+                JobType(name="j0", demand=1.0, eligible_dcs=(0,), account=0),
+                JobType(name="j1", demand=1.0, eligible_dcs=(0,), account=1),
+            ),
+            accounts=(
+                Account(name="a", fair_share=1.0),
+                Account(name="b", fair_share=0.0),
+            ),
+        )
+        horizon = 30
+        arrivals = np.ones((horizon, 2))
+        scn = _scenario(
+            cluster,
+            arrivals,
+            np.full((horizon, 1, 1), 5.0),
+            np.full((horizon, 1), 0.3),
+        )
+        result = Simulator(
+            scn, GreFarScheduler(cluster, v=1.0, beta=50.0), validate=True
+        ).run()
+        stats = result.queues.stats
+        assert stats.dc_completed[0, 1] > 0  # zero-share account served

@@ -1,0 +1,130 @@
+"""Tests for the T-step lookahead policy (Theorem 1's comparator)."""
+
+import numpy as np
+import pytest
+
+from repro.schedulers.lookahead import LookaheadPolicy
+from repro.scenarios import small_scenario
+
+
+@pytest.fixture(scope="module")
+def scn():
+    return small_scenario(horizon=48, seed=5)
+
+
+def _policy(scn, lookahead, beta=0.0):
+    return LookaheadPolicy(
+        scn.cluster,
+        scn.arrivals,
+        scn.availability,
+        scn.prices,
+        lookahead=lookahead,
+        beta=beta,
+    )
+
+
+class TestConstruction:
+    def test_rejects_bad_horizon_multiple(self, scn):
+        with pytest.raises(ValueError, match="multiple"):
+            _policy(scn, lookahead=7)
+
+    def test_rejects_bad_lookahead(self, scn):
+        with pytest.raises(ValueError):
+            _policy(scn, lookahead=0)
+
+    def test_rejects_negative_beta(self, scn):
+        with pytest.raises(ValueError):
+            _policy(scn, lookahead=12, beta=-1.0)
+
+    def test_rejects_shape_mismatch(self, scn):
+        with pytest.raises(ValueError):
+            LookaheadPolicy(
+                scn.cluster,
+                scn.arrivals[:, :1],
+                scn.availability,
+                scn.prices,
+                lookahead=12,
+            )
+
+
+class TestSolutionFeasibility:
+    def test_decisions_respect_capacity(self, scn):
+        sol = _policy(scn, lookahead=12).solve()
+        cluster = scn.cluster
+        for t in range(scn.horizon):
+            load = sol.service[t] @ cluster.demands
+            cap = sol.busy[t] @ cluster.speeds
+            assert np.all(load <= cap + 1e-6)
+            assert np.all(sol.busy[t] <= scn.availability[t] + 1e-6)
+
+    def test_aggregate_service_covers_arrivals(self, scn):
+        lookahead = 12
+        sol = _policy(scn, lookahead=lookahead).solve()
+        frames = scn.horizon // lookahead
+        for r in range(frames):
+            sl = slice(r * lookahead, (r + 1) * lookahead)
+            served = sol.service[sl].sum(axis=(0, 1))
+            arrived = scn.arrivals[sl].sum(axis=0)
+            assert np.all(served >= arrived - 1e-6)
+
+    def test_service_respects_eligibility(self, scn):
+        sol = _policy(scn, lookahead=12).solve()
+        elig = scn.cluster.eligibility_matrix()
+        assert np.all(sol.service[:, ~elig] <= 1e-9)
+
+
+class TestOptimality:
+    def test_mean_cost_is_frame_average(self, scn):
+        sol = _policy(scn, lookahead=12).solve()
+        assert sol.mean_cost == pytest.approx(float(sol.frame_costs.mean()))
+
+    def test_longer_frames_cannot_cost_more(self, scn):
+        """More lookahead = more flexibility = weakly lower optimal cost.
+
+        (Exact when the frame boundaries nest, as with 12 | 24 | 48.)
+        """
+        costs = {
+            t: _policy(scn, lookahead=t).solve().mean_cost for t in (12, 24, 48)
+        }
+        assert costs[24] <= costs[12] + 1e-6
+        assert costs[48] <= costs[24] + 1e-6
+
+    def test_costs_are_nonnegative(self, scn):
+        sol = _policy(scn, lookahead=12).solve()
+        assert np.all(sol.frame_costs >= -1e-9)
+
+    def test_beta_zero_is_pure_energy(self, scn):
+        """The beta = 0 frame cost equals the energy of its decisions."""
+        sol = _policy(scn, lookahead=12).solve()
+        cluster = scn.cluster
+        total = 0.0
+        for t in range(scn.horizon):
+            total += float(scn.prices[t] @ (sol.busy[t] @ cluster.active_powers))
+        assert sol.mean_cost * (scn.horizon // 12) == pytest.approx(
+            total / 12, rel=1e-6
+        )
+
+
+class TestConvexFrames:
+    def test_beta_positive_runs_and_is_feasible(self, scn):
+        sol = _policy(scn, lookahead=12, beta=50.0).solve()
+        cluster = scn.cluster
+        for t in range(scn.horizon):
+            load = sol.service[t] @ cluster.demands
+            cap = sol.busy[t] @ cluster.speeds
+            assert np.all(load <= cap + 1e-5)
+
+    def test_beta_increases_combined_objective_vs_energy_only(self, scn):
+        """With beta > 0 the optimal *energy* can only go up (fairness
+        is traded against it), while the combined cost stays coherent."""
+        base = _policy(scn, lookahead=12).solve()
+        fair = _policy(scn, lookahead=12, beta=50.0).solve()
+        cluster = scn.cluster
+
+        def energy(sol):
+            return sum(
+                float(scn.prices[t] @ (sol.busy[t] @ cluster.active_powers))
+                for t in range(scn.horizon)
+            )
+
+        assert energy(fair) >= energy(base) - 1e-6

@@ -1,0 +1,108 @@
+"""Unit tests for the metric collector and the footnote-8 running averages."""
+
+import numpy as np
+import pytest
+
+from repro.model.action import Action
+from repro.model.queues import QueueNetwork
+from repro.simulation.metrics import MetricsCollector
+
+
+def _record_constant(collector, queues, energy, slots):
+    for _ in range(slots):
+        collector.record(
+            energy=energy,
+            fairness=-0.1,
+            combined=energy + 0.1,
+            work_per_dc=np.array([1.0, 2.0]),
+            served_jobs=3.0,
+            queues=queues,
+        )
+
+
+class TestRunningAverages:
+    def test_constant_series(self, cluster):
+        q = QueueNetwork(cluster)
+        m = MetricsCollector(num_datacenters=2)
+        _record_constant(m, q, energy=5.0, slots=4)
+        np.testing.assert_allclose(m.avg_energy_series(), 5.0)
+
+    def test_footnote8_definition(self, cluster):
+        """avg(t) = (sum up to t) / t, exactly."""
+        q = QueueNetwork(cluster)
+        m = MetricsCollector(num_datacenters=2)
+        for e in [2.0, 4.0, 6.0]:
+            m.record(
+                energy=e,
+                fairness=0.0,
+                combined=e,
+                work_per_dc=np.zeros(2),
+                served_jobs=0.0,
+                queues=q,
+            )
+        np.testing.assert_allclose(m.avg_energy_series(), [2.0, 3.0, 4.0])
+
+    def test_fairness_and_combined_series(self, cluster):
+        q = QueueNetwork(cluster)
+        m = MetricsCollector(num_datacenters=2)
+        _record_constant(m, q, energy=1.0, slots=3)
+        np.testing.assert_allclose(m.avg_fairness_series(), -0.1)
+        np.testing.assert_allclose(m.avg_combined_series(), 1.1)
+
+    def test_work_per_dc_series(self, cluster):
+        q = QueueNetwork(cluster)
+        m = MetricsCollector(num_datacenters=2)
+        _record_constant(m, q, energy=1.0, slots=2)
+        assert m.work_per_dc_series().shape == (2, 2)
+        np.testing.assert_allclose(m.work_per_dc_series()[0], [1.0, 2.0])
+
+
+class TestDelaySeries:
+    def test_delay_series_tracks_ledger(self, cluster):
+        q = QueueNetwork(cluster)
+        m = MetricsCollector(num_datacenters=2)
+        # Arrive 2 jobs at t=0, route at t=1, serve at t=3 -> DC delay 2.
+        q.step(Action.idle(cluster), np.array([2.0, 0.0]), t=0)
+        m.record(0.0, 0.0, 0.0, np.zeros(2), 0.0, q)
+        route = np.zeros((2, 2))
+        route[0, 0] = 2.0
+        q.step(Action(route, np.zeros((2, 2)), np.zeros((2, 2))), np.zeros(2), t=1)
+        m.record(0.0, 0.0, 0.0, np.zeros(2), 0.0, q)
+        q.step(Action.idle(cluster), np.zeros(2), t=2)
+        m.record(0.0, 0.0, 0.0, np.zeros(2), 0.0, q)
+        serve = np.zeros((2, 2))
+        serve[0, 0] = 2.0
+        q.step(Action(np.zeros((2, 2)), serve, np.zeros((2, 2))), np.zeros(2), t=3)
+        m.record(0.0, 0.0, 0.0, np.zeros(2), 2.0, q)
+
+        series = m.avg_dc_delay_series(0)
+        assert series[0] == 0.0  # nothing served yet
+        assert series[3] == pytest.approx(2.0)
+
+    def test_empty_series(self):
+        m = MetricsCollector(num_datacenters=2)
+        assert m.horizon == 0
+        assert m.avg_energy_series().size == 0
+
+
+class TestSummary:
+    def test_summary_fields(self, cluster):
+        q = QueueNetwork(cluster)
+        m = MetricsCollector(num_datacenters=2)
+        _record_constant(m, q, energy=5.0, slots=4)
+        s = m.summary("test", q, arrived=12.0)
+        assert s.scheduler == "test"
+        assert s.horizon == 4
+        assert s.avg_energy_cost == pytest.approx(5.0)
+        assert s.total_served_jobs == pytest.approx(12.0)
+        assert s.total_arrived_jobs == pytest.approx(12.0)
+        assert len(s.avg_dc_delay) == 2
+        assert len(s.avg_work_per_dc) == 2
+
+    def test_as_dict_roundtrip(self, cluster):
+        q = QueueNetwork(cluster)
+        m = MetricsCollector(num_datacenters=2)
+        _record_constant(m, q, energy=5.0, slots=2)
+        d = m.summary("x", q, arrived=0.0).as_dict()
+        assert d["scheduler"] == "x"
+        assert isinstance(d["avg_dc_delay"], list)

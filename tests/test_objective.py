@@ -1,0 +1,55 @@
+"""Unit tests for the energy-fairness cost model (eq. 6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.objective import CostModel
+from repro.fairness import QuadraticFairness
+from repro.model.action import Action
+
+
+def _serving_action(cluster, h00=2.0):
+    h = np.zeros((2, 2))
+    h[0, 0] = h00
+    b = np.zeros((2, 2))
+    b[0, 0] = h00  # speed 1.0: capacity = count
+    return Action(np.zeros((2, 2)), h, b)
+
+
+class TestCostModel:
+    def test_rejects_negative_beta(self):
+        with pytest.raises(ValueError):
+            CostModel(beta=-1.0)
+
+    def test_energy_component(self, cluster, state):
+        model = CostModel(beta=0.0)
+        action = _serving_action(cluster)
+        cost = model.evaluate(cluster, state, action)
+        assert cost.energy == pytest.approx(0.4 * 2.0 * 1.0)
+        assert cost.combined == pytest.approx(cost.energy)
+
+    def test_fairness_component(self, cluster, state):
+        model = CostModel(beta=10.0)
+        action = _serving_action(cluster)
+        cost = model.evaluate(cluster, state, action)
+        expected_f = QuadraticFairness().score(
+            action.account_work(cluster),
+            state.total_resource(cluster),
+            cluster.fair_shares,
+        )
+        assert cost.fairness == pytest.approx(expected_f)
+        assert cost.combined == pytest.approx(cost.energy - 10.0 * expected_f)
+
+    def test_beta_zero_still_reports_fairness(self, cluster, state):
+        """Fairness is measured even when it isn't part of the objective."""
+        model = CostModel(beta=0.0)
+        cost = model.evaluate(cluster, state, _serving_action(cluster))
+        assert cost.fairness < 0  # imperfect allocation scores negative
+
+    def test_idle_action(self, cluster, state):
+        model = CostModel(beta=5.0)
+        cost = model.evaluate(cluster, state, Action.idle(cluster))
+        assert cost.energy == 0.0
+        # Idle fairness: -sum gamma_m^2.
+        assert cost.fairness == pytest.approx(-float(np.sum(cluster.fair_shares**2)))
+        assert cost.combined == pytest.approx(-5.0 * cost.fairness)

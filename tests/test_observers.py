@@ -1,0 +1,120 @@
+"""Tests for simulation observers and the weekly rate profile."""
+
+import numpy as np
+import pytest
+
+from repro.core.grefar import GreFarScheduler
+from repro.simulation.observers import PeakTracker, SnapshotRecorder
+from repro.simulation.simulator import Simulator
+from repro.workloads.arrivals import CompositeRate, ConstantRate, WeeklyRate
+
+
+class TestSnapshotRecorder:
+    def test_records_every_slot_by_default(self, scenario):
+        recorder = SnapshotRecorder()
+        Simulator(
+            scenario,
+            GreFarScheduler(scenario.cluster, v=5.0),
+            observers=[recorder],
+        ).run(20)
+        assert recorder.slots == list(range(20))
+        assert len(recorder.front_snapshots) == 20
+        assert recorder.dc_snapshots[0].shape == (2, 2)
+
+    def test_period_skips_slots(self, scenario):
+        recorder = SnapshotRecorder(every=5)
+        Simulator(
+            scenario,
+            GreFarScheduler(scenario.cluster, v=5.0),
+            observers=[recorder],
+        ).run(20)
+        assert recorder.slots == [0, 5, 10, 15]
+
+    def test_backlog_series(self, scenario):
+        recorder = SnapshotRecorder()
+        result = Simulator(
+            scenario,
+            GreFarScheduler(scenario.cluster, v=5.0),
+            observers=[recorder],
+        ).run(20)
+        series = recorder.backlog_series()
+        assert series.shape == (20,)
+        # Final snapshot equals the queue network's final backlog.
+        assert series[-1] == pytest.approx(result.queues.total_backlog())
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            SnapshotRecorder(every=0)
+
+
+class TestPeakTracker:
+    def test_tracks_peaks(self, scenario):
+        tracker = PeakTracker()
+        result = Simulator(
+            scenario,
+            GreFarScheduler(scenario.cluster, v=5.0),
+            observers=[tracker],
+        ).run(30)
+        work = result.metrics.work_per_dc_series()
+        np.testing.assert_allclose(tracker.peak_work, work.max(axis=0))
+        assert np.all(tracker.peak_power >= 0)
+        assert np.all(tracker.peak_queue >= 0)
+
+    def test_multiple_observers_compose(self, scenario):
+        recorder = SnapshotRecorder(every=3)
+        tracker = PeakTracker()
+        Simulator(
+            scenario,
+            GreFarScheduler(scenario.cluster, v=5.0),
+            observers=[recorder, tracker],
+        ).run(12)
+        assert recorder.slots == [0, 3, 6, 9]
+        assert tracker.peak_work is not None
+
+
+class TestWeeklyRate:
+    def test_weekday_weekend_levels(self, rng):
+        profile = WeeklyRate(weekday_level=1.0, weekend_level=0.25, slots_per_day=24)
+        rates = profile.rates(24 * 14, rng)  # two weeks
+        # First five days at 1.0, then two at 0.25, repeating.
+        assert np.all(rates[: 24 * 5] == 1.0)
+        assert np.all(rates[24 * 5 : 24 * 7] == 0.25)
+        assert np.all(rates[24 * 7 : 24 * 12] == 1.0)
+
+    def test_composes_with_constant(self, rng):
+        combo = CompositeRate(ConstantRate(4.0), WeeklyRate(weekend_level=0.5))
+        rates = combo.rates(24 * 7, rng)
+        assert rates[0] == pytest.approx(4.0)
+        assert rates[-1] == pytest.approx(2.0)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            WeeklyRate(weekday_level=-1.0)
+        with pytest.raises(ValueError):
+            WeeklyRate(slots_per_day=0)
+
+
+class TestDelayDistributionExperiment:
+    def test_run_short(self):
+        from repro.experiments import delay_distribution
+
+        result = delay_distribution.run(horizon=60, seed=0, v_values=(0.5, 20.0))
+        assert len(result.p95) == 2
+        # Tail grows (weakly) with V.
+        assert result.p95[1] >= result.p95[0]
+        # Percentile ordering holds per V.
+        for i in range(2):
+            assert result.p50[i] <= result.p95[i] <= result.p99[i]
+
+    def test_main_prints(self, capsys):
+        from repro.experiments import delay_distribution
+
+        delay_distribution.main(horizon=40)
+        out = capsys.readouterr().out
+        assert "p95" in out
+
+    def test_cli_hookup(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiment", "delays", "--horizon", "40"]) == 0
+        assert "p95" in capsys.readouterr().out

@@ -1,0 +1,97 @@
+"""Unit + property tests for the electricity pricing models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.pricing import LinearPricing, TieredPricing
+
+
+class TestLinearPricing:
+    def test_total_cost(self):
+        p = LinearPricing()
+        assert p.total_cost(10.0, 0.5) == pytest.approx(5.0)
+
+    def test_marginal_is_constant(self):
+        p = LinearPricing()
+        assert p.marginal_price(0.0, 0.5) == 0.5
+        assert p.marginal_price(1000.0, 0.5) == 0.5
+
+    def test_tiers(self):
+        (width, unit), = LinearPricing().tiers(0.4)
+        assert width == float("inf")
+        assert unit == 0.4
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            LinearPricing().total_cost(-1.0, 0.5)
+        with pytest.raises(ValueError):
+            LinearPricing().total_cost(1.0, -0.5)
+
+
+class TestTieredPricing:
+    @pytest.fixture
+    def tiered(self):
+        return TieredPricing(boundaries=(10.0, 20.0), multipliers=(1.0, 2.0, 4.0))
+
+    def test_first_tier_is_base_price(self, tiered):
+        assert tiered.total_cost(5.0, 0.5) == pytest.approx(2.5)
+
+    def test_crosses_tiers(self, tiered):
+        # 10 @ 0.5 + 10 @ 1.0 + 5 @ 2.0 = 5 + 10 + 10 = 25.
+        assert tiered.total_cost(25.0, 0.5) == pytest.approx(25.0)
+
+    def test_marginal_steps_up(self, tiered):
+        assert tiered.marginal_price(5.0, 0.5) == pytest.approx(0.5)
+        assert tiered.marginal_price(15.0, 0.5) == pytest.approx(1.0)
+        assert tiered.marginal_price(50.0, 0.5) == pytest.approx(2.0)
+
+    def test_tiers_structure(self, tiered):
+        tiers = tiered.tiers(1.0)
+        assert tiers[0] == (10.0, 1.0)
+        assert tiers[1] == (10.0, 2.0)
+        assert tiers[2][0] == float("inf")
+        assert tiers[2][1] == 4.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="multipliers"):
+            TieredPricing(boundaries=(10.0,), multipliers=(1.0,))
+        with pytest.raises(ValueError, match="increasing"):
+            TieredPricing(boundaries=(10.0, 5.0), multipliers=(1.0, 2.0, 3.0))
+        with pytest.raises(ValueError, match="non-decreasing"):
+            TieredPricing(boundaries=(10.0,), multipliers=(2.0, 1.0))
+        with pytest.raises(ValueError, match="positive"):
+            TieredPricing(boundaries=(-1.0,), multipliers=(1.0, 2.0))
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.floats(min_value=0.0, max_value=100.0),
+        st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_convexity(self, e1, e2):
+        """Midpoint convexity of the total cost in energy."""
+        p = TieredPricing(boundaries=(10.0, 30.0), multipliers=(1.0, 1.5, 3.0))
+        mid = 0.5 * (e1 + e2)
+        lhs = p.total_cost(mid, 0.5)
+        rhs = 0.5 * (p.total_cost(e1, 0.5) + p.total_cost(e2, 0.5))
+        assert lhs <= rhs + 1e-9
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=100.0))
+    def test_total_is_integral_of_marginal(self, energy):
+        """total_cost(E) == integral of marginal over [0, E] (piecewise)."""
+        p = TieredPricing(boundaries=(10.0, 30.0), multipliers=(1.0, 1.5, 3.0))
+        # Numerically integrate the marginal price.
+        grid = np.linspace(0, energy, 2001)
+        marginals = np.array([p.marginal_price(e, 0.5) for e in grid[:-1]])
+        integral = float(np.sum(marginals * np.diff(grid)))
+        # Left Riemann sums under-count at the tier jumps by up to
+        # step * total-jump, so allow that discretization slack.
+        assert p.total_cost(energy, 0.5) == pytest.approx(integral, abs=0.2)
+
+    def test_reduces_to_linear_with_unit_multiplier(self):
+        p = TieredPricing(boundaries=(10.0,), multipliers=(1.0, 1.0))
+        lin = LinearPricing()
+        for e in (0.0, 5.0, 10.0, 50.0):
+            assert p.total_cost(e, 0.7) == pytest.approx(lin.total_cost(e, 0.7))

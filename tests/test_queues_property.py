@@ -1,0 +1,149 @@
+"""Property-based tests for the queue dynamics (eqs. 12-13).
+
+Invariants checked against random action sequences:
+
+* the scalar queues follow the recursions *exactly*;
+* queues never go negative;
+* conservation: jobs arrived = jobs served + jobs still queued
+  (for physical actions);
+* ledger totals equal the scalar queues (for physical actions);
+* all recorded delays are at least one slot.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.action import Action
+from repro.model.queues import QueueNetwork
+from repro.scenarios import small_cluster
+
+
+@st.composite
+def slot_sequences(draw):
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    horizon = draw(st.integers(min_value=1, max_value=30))
+    physical = draw(st.booleans())
+    return seed, horizon, physical
+
+
+@settings(max_examples=60, deadline=None)
+@given(slot_sequences())
+def test_scalar_queues_follow_recursions_exactly(params):
+    seed, horizon, physical = params
+    cluster = small_cluster()
+    rng = np.random.default_rng(seed)
+    q = QueueNetwork(cluster)
+    n, j = cluster.num_datacenters, cluster.num_job_types
+    elig = cluster.eligibility_matrix()
+
+    front_ref = np.zeros(j)
+    dc_ref = np.zeros((n, j))
+    for t in range(horizon):
+        route = rng.integers(0, 5, size=(n, j)).astype(float) * elig
+        serve = rng.uniform(0, 4, size=(n, j)) * elig
+        arrivals = rng.integers(0, 6, size=j).astype(float)
+        action = Action(route, serve, np.zeros((n, cluster.num_server_classes)))
+        if physical:
+            action = q.clip_to_content(action)
+            route = np.array(action.route)
+            serve = np.array(action.serve)
+        q.step(action, arrivals, t)
+
+        # Reference recursions (12)-(13).
+        dc_ref = np.maximum(dc_ref - serve, 0.0) + route
+        front_ref = np.maximum(front_ref - route.sum(axis=0), 0.0) + arrivals
+
+        np.testing.assert_allclose(q.front, front_ref, atol=1e-9)
+        np.testing.assert_allclose(q.dc, dc_ref, atol=1e-9)
+        assert np.all(q.front >= 0)
+        assert np.all(q.dc >= 0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(slot_sequences())
+def test_conservation_for_physical_actions(params):
+    seed, horizon, _ = params
+    cluster = small_cluster()
+    rng = np.random.default_rng(seed)
+    q = QueueNetwork(cluster)
+    n, j = cluster.num_datacenters, cluster.num_job_types
+    elig = cluster.eligibility_matrix()
+
+    total_arrived = 0.0
+    total_served = 0.0
+    for t in range(horizon):
+        route = rng.integers(0, 5, size=(n, j)).astype(float) * elig
+        serve = rng.uniform(0, 4, size=(n, j)) * elig
+        arrivals = rng.integers(0, 6, size=j).astype(float)
+        action = q.clip_to_content(
+            Action(route, serve, np.zeros((n, cluster.num_server_classes)))
+        )
+        outcome = q.step(action, arrivals, t)
+        total_arrived += arrivals.sum()
+        total_served += outcome["served"].sum()
+
+    backlog = q.total_backlog()
+    np.testing.assert_allclose(total_served + backlog, total_arrived, atol=1e-6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(slot_sequences())
+def test_ledger_matches_scalars_for_physical_actions(params):
+    seed, horizon, _ = params
+    cluster = small_cluster()
+    rng = np.random.default_rng(seed)
+    q = QueueNetwork(cluster)
+    n, j = cluster.num_datacenters, cluster.num_job_types
+    elig = cluster.eligibility_matrix()
+
+    for t in range(horizon):
+        route = rng.integers(0, 5, size=(n, j)).astype(float) * elig
+        serve = rng.uniform(0, 4, size=(n, j)) * elig
+        arrivals = rng.integers(0, 6, size=j).astype(float)
+        action = q.clip_to_content(
+            Action(route, serve, np.zeros((n, cluster.num_server_classes)))
+        )
+        q.step(action, arrivals, t)
+
+    # Ledger contents must equal the scalar queues.
+    front_ledger_totals = np.array(
+        [sum(batch[1] for batch in q._front_ledger[jj]) for jj in range(j)]
+    )
+    np.testing.assert_allclose(front_ledger_totals, q.front, atol=1e-6)
+    dc_ledger_totals = np.array(
+        [
+            [sum(batch[1] for batch in q._dc_ledger[(i, jj)]) for jj in range(j)]
+            for i in range(n)
+        ]
+    )
+    np.testing.assert_allclose(dc_ledger_totals, q.dc, atol=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(slot_sequences())
+def test_all_recorded_delays_at_least_one_slot(params):
+    seed, horizon, _ = params
+    cluster = small_cluster()
+    rng = np.random.default_rng(seed)
+    q = QueueNetwork(cluster)
+    n, j = cluster.num_datacenters, cluster.num_job_types
+    elig = cluster.eligibility_matrix()
+
+    for t in range(horizon):
+        route = rng.integers(0, 5, size=(n, j)).astype(float) * elig
+        serve = rng.uniform(0, 4, size=(n, j)) * elig
+        arrivals = rng.integers(0, 6, size=j).astype(float)
+        action = q.clip_to_content(
+            Action(route, serve, np.zeros((n, cluster.num_server_classes)))
+        )
+        q.step(action, arrivals, t)
+
+    stats = q.stats
+    served = stats.dc_completed.sum()
+    if served > 0:
+        # Mean delay >= 1 because serving happens before routing in-slot.
+        assert stats.mean_dc_delay() >= 1.0 - 1e-9
+    routed = stats.front_completed.sum()
+    if routed > 0:
+        assert stats.mean_front_delay() >= 1.0 - 1e-9

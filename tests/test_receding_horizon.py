@@ -1,0 +1,105 @@
+"""Tests for the receding-horizon (MPC) scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.schedulers.receding_horizon import RecedingHorizonScheduler
+from repro.simulation.simulator import Simulator
+from repro.simulation.trace import Scenario
+
+
+class TestConstruction:
+    def test_valid_modes(self, cluster):
+        RecedingHorizonScheduler(cluster, forecast="persistence")
+        RecedingHorizonScheduler(cluster, forecast="diurnal")
+
+    def test_oracle_mode(self, cluster, scenario):
+        s = RecedingHorizonScheduler(cluster, forecast=scenario)
+        assert "oracle" in s.name
+
+    def test_rejects_bad_forecast(self, cluster):
+        with pytest.raises(ValueError):
+            RecedingHorizonScheduler(cluster, forecast="crystal-ball")
+
+    def test_rejects_bad_window(self, cluster):
+        with pytest.raises(ValueError):
+            RecedingHorizonScheduler(cluster, window=0)
+        with pytest.raises(ValueError):
+            RecedingHorizonScheduler(cluster, replan_every=0)
+
+
+class TestRuns:
+    def test_persistence_run_is_valid(self, scenario):
+        scheduler = RecedingHorizonScheduler(
+            scenario.cluster, window=12, replan_every=4
+        )
+        result = Simulator(scenario, scheduler, validate=True).run(30)
+        assert result.summary.horizon == 30
+
+    def test_diurnal_run_is_valid(self, scenario):
+        scheduler = RecedingHorizonScheduler(
+            scenario.cluster, window=12, replan_every=4, forecast="diurnal"
+        )
+        result = Simulator(scenario, scheduler, validate=True).run(40)
+        assert result.summary.horizon == 40
+
+    def test_oracle_run_is_valid(self, scenario):
+        scheduler = RecedingHorizonScheduler(
+            scenario.cluster, window=12, replan_every=4, forecast=scenario
+        )
+        result = Simulator(scenario, scheduler, validate=True).run(30)
+        assert result.summary.horizon == 30
+
+    def test_serves_most_of_the_work(self, scenario):
+        scheduler = RecedingHorizonScheduler(
+            scenario.cluster, window=12, replan_every=3, forecast=scenario
+        )
+        result = Simulator(scenario, scheduler).run()
+        s = result.summary
+        assert s.total_served_jobs > 0.7 * s.total_arrived_jobs
+
+    def test_reset_between_runs(self, scenario):
+        scheduler = RecedingHorizonScheduler(scenario.cluster, window=8)
+        sim = Simulator(scenario, scheduler)
+        a = sim.run(25)
+        b = sim.run(25)
+        assert a.summary.avg_energy_cost == pytest.approx(
+            b.summary.avg_energy_cost
+        )
+
+
+class TestOracleQuality:
+    def test_oracle_beats_persistence_on_energy(self, scenario):
+        """Perfect information can only help the planner."""
+
+        def energy(forecast):
+            scheduler = RecedingHorizonScheduler(
+                scenario.cluster, window=12, replan_every=3, forecast=forecast
+            )
+            return Simulator(scenario, scheduler).run().summary.avg_energy_cost
+
+        assert energy(scenario) <= energy("persistence") * 1.1
+
+    def test_oracle_avoids_price_spike(self, cluster):
+        """With a known future spike, the oracle planner pre-serves."""
+        horizon = 30
+        rng = np.random.default_rng(3)
+        arrivals = rng.integers(0, 3, size=(horizon, 2)).astype(float)
+        availability = np.tile(
+            np.stack([dc.max_servers for dc in cluster.datacenters]), (horizon, 1, 1)
+        )
+        prices = np.full((horizon, 2), 0.3)
+        prices[10:20] = 10.0  # announced spike
+        scn = Scenario(
+            cluster=cluster,
+            arrivals=arrivals,
+            availability=availability,
+            prices=prices,
+        )
+        scheduler = RecedingHorizonScheduler(
+            cluster, window=15, replan_every=1, forecast=scn
+        )
+        result = Simulator(scn, scheduler).run()
+        work = result.metrics.work_per_dc_series().sum(axis=1)
+        # The spike decade processes (almost) nothing.
+        assert work[10:20].sum() < 0.2 * work.sum()

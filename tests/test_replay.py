@@ -1,0 +1,89 @@
+"""Tests for CSV trace import/export."""
+
+import numpy as np
+import pytest
+
+from repro.scenarios import small_cluster, small_scenario
+from repro.workloads.replay import (
+    load_scenario_csv,
+    read_matrix_csv,
+    save_scenario_csv,
+    write_matrix_csv,
+)
+
+
+class TestMatrixCsv:
+    def test_roundtrip(self, tmp_path):
+        matrix = np.array([[1.0, 2.0], [3.5, 4.0]])
+        path = tmp_path / "m.csv"
+        write_matrix_csv(path, matrix, ["a", "b"])
+        out = read_matrix_csv(path, expected_columns=2)
+        np.testing.assert_allclose(out, matrix)
+
+    def test_write_rejects_bad_shapes(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_matrix_csv(tmp_path / "m.csv", np.zeros(3), ["a"])
+        with pytest.raises(ValueError):
+            write_matrix_csv(tmp_path / "m.csv", np.zeros((2, 2)), ["a"])
+
+    def test_read_rejects_bad_header(self, tmp_path):
+        path = tmp_path / "m.csv"
+        path.write_text("slot,a\n0,1\n")
+        with pytest.raises(ValueError, match="columns"):
+            read_matrix_csv(path, expected_columns=2)
+
+    def test_read_rejects_ragged_rows(self, tmp_path):
+        path = tmp_path / "m.csv"
+        path.write_text("slot,a,b\n0,1\n")
+        with pytest.raises(ValueError, match="ragged"):
+            read_matrix_csv(path, expected_columns=2)
+
+    def test_read_rejects_non_numeric(self, tmp_path):
+        path = tmp_path / "m.csv"
+        path.write_text("slot,a,b\n0,1,x\n")
+        with pytest.raises(ValueError, match="non-numeric"):
+            read_matrix_csv(path, expected_columns=2)
+
+    def test_read_rejects_empty(self, tmp_path):
+        path = tmp_path / "m.csv"
+        path.write_text("slot,a,b\n")
+        with pytest.raises(ValueError, match="no data"):
+            read_matrix_csv(path, expected_columns=2)
+
+
+class TestScenarioCsv:
+    def test_roundtrip(self, tmp_path):
+        scn = small_scenario(horizon=25, seed=6)
+        save_scenario_csv(scn, tmp_path)
+        loaded = load_scenario_csv(small_cluster(), tmp_path)
+        np.testing.assert_allclose(loaded.arrivals, scn.arrivals)
+        np.testing.assert_allclose(loaded.prices, scn.prices)
+        np.testing.assert_allclose(loaded.availability, scn.availability)
+
+    def test_loaded_scenario_is_runnable(self, tmp_path):
+        from repro.core.grefar import GreFarScheduler
+        from repro.simulation.simulator import Simulator
+
+        scn = small_scenario(horizon=20, seed=6)
+        save_scenario_csv(scn, tmp_path)
+        loaded = load_scenario_csv(small_cluster(), tmp_path)
+        result = Simulator(loaded, GreFarScheduler(loaded.cluster, v=5.0)).run()
+        assert result.summary.horizon == 20
+
+    def test_detects_missing_availability_rows(self, tmp_path):
+        scn = small_scenario(horizon=5, seed=1)
+        save_scenario_csv(scn, tmp_path)
+        path = tmp_path / "availability.csv"
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")  # drop last row
+        with pytest.raises(ValueError, match="missing"):
+            load_scenario_csv(small_cluster(), tmp_path)
+
+    def test_detects_horizon_mismatch(self, tmp_path):
+        scn = small_scenario(horizon=5, seed=1)
+        save_scenario_csv(scn, tmp_path)
+        prices = tmp_path / "prices.csv"
+        lines = prices.read_text().splitlines()
+        prices.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(ValueError, match="slots"):
+            load_scenario_csv(small_cluster(), tmp_path)

@@ -1,0 +1,48 @@
+"""Tests for the one-shot reproduction report generator."""
+
+from pathlib import Path
+
+from repro.experiments import report
+
+
+class TestGenerateReport:
+    def test_writes_report_and_csvs(self, tmp_path):
+        path = report.generate_report(tmp_path, horizon=48, seed=0)
+        assert path.exists()
+        text = path.read_text()
+        for heading in (
+            "Table I",
+            "Fig. 1",
+            "Fig. 2",
+            "Fig. 3",
+            "Fig. 4",
+            "Fig. 5",
+            "Work distribution",
+            "Theorem 1",
+        ):
+            assert heading in text
+        for csv_name in (
+            "fig1_prices.csv",
+            "fig1_org_work.csv",
+            "fig2_energy.csv",
+            "fig2_delay_dc1.csv",
+            "fig3_series.csv",
+            "fig5_snapshot.csv",
+        ):
+            assert (tmp_path / csv_name).exists()
+
+    def test_csv_contents_parse(self, tmp_path):
+        import csv
+
+        report.generate_report(tmp_path, horizon=48, seed=1)
+        with open(tmp_path / "fig2_energy.csv") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0][0] == "slot"
+        assert len(rows) == 49  # header + one row per slot
+        float(rows[1][1])  # values parse as numbers
+
+    def test_main_cli(self, tmp_path, capsys):
+        code = report.main(["--out", str(tmp_path / "r"), "--horizon", "48"])
+        assert code == 0
+        assert "report.md" in capsys.readouterr().out
+        assert Path(tmp_path / "r" / "report.md").exists()

@@ -1,0 +1,63 @@
+"""Unit tests for :class:`repro.model.server.ServerClass`."""
+
+import pytest
+
+from repro.model.server import ServerClass
+
+
+class TestConstruction:
+    def test_valid(self):
+        s = ServerClass(name="a", speed=1.5, active_power=2.0)
+        assert s.speed == 1.5
+        assert s.active_power == 2.0
+        assert s.idle_power == 0.0
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError, match="name"):
+            ServerClass(name="", speed=1.0, active_power=1.0)
+
+    def test_rejects_zero_speed(self):
+        with pytest.raises(ValueError, match="speed"):
+            ServerClass(name="a", speed=0.0, active_power=1.0)
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ValueError):
+            ServerClass(name="a", speed=1.0, active_power=-1.0)
+
+    def test_rejects_idle_above_active(self):
+        with pytest.raises(ValueError, match="idle_power"):
+            ServerClass(name="a", speed=1.0, active_power=1.0, idle_power=1.5)
+
+    def test_idle_equal_active_rejected(self):
+        with pytest.raises(ValueError):
+            ServerClass(name="a", speed=1.0, active_power=1.0, idle_power=1.0)
+
+    def test_frozen(self):
+        s = ServerClass(name="a", speed=1.0, active_power=1.0)
+        with pytest.raises(AttributeError):
+            s.speed = 2.0
+
+
+class TestDerived:
+    def test_energy_per_unit_work_table1(self):
+        # Table I row 2: speed 0.75, power 0.60 -> 0.8 energy per work.
+        s = ServerClass(name="dc2", speed=0.75, active_power=0.60)
+        assert s.energy_per_unit_work == pytest.approx(0.8)
+
+    def test_work_capacity(self):
+        s = ServerClass(name="a", speed=2.0, active_power=1.0)
+        assert s.work_capacity(3.0) == pytest.approx(6.0)
+
+    def test_work_capacity_rejects_negative(self):
+        s = ServerClass(name="a", speed=1.0, active_power=1.0)
+        with pytest.raises(ValueError):
+            s.work_capacity(-1.0)
+
+    def test_power_draw(self):
+        s = ServerClass(name="a", speed=1.0, active_power=0.5)
+        assert s.power_draw(4.0) == pytest.approx(2.0)
+
+    def test_power_draw_rejects_negative(self):
+        s = ServerClass(name="a", speed=1.0, active_power=1.0)
+        with pytest.raises(ValueError):
+            s.power_draw(-0.5)

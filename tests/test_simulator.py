@@ -1,0 +1,99 @@
+"""Integration tests for the simulator loop."""
+
+import numpy as np
+import pytest
+
+from repro.core.grefar import GreFarScheduler
+from repro.core.objective import CostModel
+from repro.fairness import JainFairness
+from repro.schedulers import AlwaysScheduler
+from repro.simulation.simulator import Simulator, run_comparison
+
+
+class TestRun:
+    def test_basic_run(self, scenario):
+        result = Simulator(scenario, AlwaysScheduler(scenario.cluster)).run()
+        assert result.summary.horizon == scenario.horizon
+        assert result.metrics.horizon == scenario.horizon
+
+    def test_partial_horizon(self, scenario):
+        result = Simulator(scenario, AlwaysScheduler(scenario.cluster)).run(10)
+        assert result.summary.horizon == 10
+
+    def test_rejects_bad_horizon(self, scenario):
+        sim = Simulator(scenario, AlwaysScheduler(scenario.cluster))
+        with pytest.raises(ValueError):
+            sim.run(0)
+        with pytest.raises(ValueError):
+            sim.run(scenario.horizon + 1)
+
+    def test_validated_run(self, scenario):
+        result = Simulator(
+            scenario,
+            GreFarScheduler(scenario.cluster, v=5.0, beta=10.0),
+            validate=True,
+        ).run(20)
+        assert result.summary.horizon == 20
+
+    def test_conservation(self, scenario):
+        """Arrived jobs = served jobs + backlog at the end."""
+        result = Simulator(scenario, GreFarScheduler(scenario.cluster, v=8.0)).run()
+        arrived = result.summary.total_arrived_jobs
+        served = result.summary.total_served_jobs
+        backlog = result.queues.total_backlog()
+        assert served + backlog == pytest.approx(arrived, abs=1e-6)
+
+    def test_custom_cost_model(self, scenario):
+        measure = CostModel(beta=0.0, fairness=JainFairness())
+        result = Simulator(
+            scenario, AlwaysScheduler(scenario.cluster), cost_model=measure
+        ).run(20)
+        # Jain index lies in (0, 1].
+        assert 0.0 < result.summary.avg_fairness <= 1.0
+
+    def test_determinism(self, scenario):
+        a = Simulator(scenario, GreFarScheduler(scenario.cluster, v=5.0)).run(30)
+        b = Simulator(scenario, GreFarScheduler(scenario.cluster, v=5.0)).run(30)
+        assert a.summary.avg_energy_cost == pytest.approx(b.summary.avg_energy_cost)
+        np.testing.assert_allclose(
+            a.metrics.avg_energy_series(), b.metrics.avg_energy_series()
+        )
+
+    def test_scheduler_reset_called(self, scenario):
+        """Running twice with the same stateful scheduler gives equal results."""
+        scheduler = GreFarScheduler(scenario.cluster, v=5.0)
+        sim = Simulator(scenario, scheduler)
+        a = sim.run(20)
+        b = sim.run(20)
+        assert a.summary.avg_energy_cost == pytest.approx(b.summary.avg_energy_cost)
+
+
+class TestRunComparison:
+    def test_returns_all_schedulers(self, scenario):
+        results = run_comparison(
+            scenario,
+            [
+                GreFarScheduler(scenario.cluster, v=5.0),
+                AlwaysScheduler(scenario.cluster),
+            ],
+            horizon=15,
+        )
+        assert len(results) == 2
+        assert any("GreFar" in name for name in results)
+        assert "Always" in results
+
+
+class TestPaperShapesSmall:
+    """Cheap smoke versions of the paper's qualitative claims."""
+
+    def test_higher_v_means_no_less_delay(self, scenario):
+        low = Simulator(scenario, GreFarScheduler(scenario.cluster, v=0.1)).run()
+        high = Simulator(scenario, GreFarScheduler(scenario.cluster, v=50.0)).run()
+        assert (
+            high.summary.avg_total_delay >= low.summary.avg_total_delay - 0.05
+        )
+
+    def test_always_is_fastest(self, scenario):
+        always = Simulator(scenario, AlwaysScheduler(scenario.cluster)).run()
+        grefar = Simulator(scenario, GreFarScheduler(scenario.cluster, v=50.0)).run()
+        assert always.summary.avg_total_delay <= grefar.summary.avg_total_delay + 0.05

@@ -1,0 +1,73 @@
+"""Unit tests for the slackness condition checker."""
+
+import numpy as np
+import pytest
+
+from repro.core.slackness import check_slackness
+from repro.scenarios import small_cluster, small_scenario
+
+
+class TestCheckSlackness:
+    def test_underloaded_scenario_is_feasible(self):
+        cluster = small_cluster()
+        horizon = 10
+        arrivals = np.ones((horizon, 2))
+        availability = np.tile(
+            np.stack([dc.max_servers for dc in cluster.datacenters]),
+            (horizon, 1, 1),
+        )
+        report = check_slackness(cluster, arrivals, availability)
+        assert report.feasible
+        assert report.max_delta > 0
+        assert report.worst_utilization < 1.0
+
+    def test_overloaded_scenario_is_infeasible(self):
+        cluster = small_cluster()
+        horizon = 5
+        # Total capacity is 36 work/slot; send 50 jobs x demand 1 + more.
+        arrivals = np.full((horizon, 2), 25.0)
+        availability = np.tile(
+            np.stack([dc.max_servers for dc in cluster.datacenters]),
+            (horizon, 1, 1),
+        )
+        report = check_slackness(cluster, arrivals, availability)
+        assert not report.feasible
+        assert report.max_delta == 0.0
+        assert report.worst_utilization > 1.0
+
+    def test_eligibility_restricts_placement(self):
+        """Type 1 can only run at site 1: overloading site 1 alone fails."""
+        cluster = small_cluster()
+        horizon = 3
+        arrivals = np.zeros((horizon, 2))
+        arrivals[:, 1] = 12.0  # 24 units of work, site 1 capacity is 18
+        availability = np.tile(
+            np.stack([dc.max_servers for dc in cluster.datacenters]),
+            (horizon, 1, 1),
+        )
+        report = check_slackness(cluster, arrivals, availability)
+        assert not report.feasible
+
+    def test_worst_slot_identified(self):
+        cluster = small_cluster()
+        horizon = 6
+        arrivals = np.ones((horizon, 2))
+        arrivals[4, 0] = 30.0  # slot 4 is the crunch
+        availability = np.tile(
+            np.stack([dc.max_servers for dc in cluster.datacenters]),
+            (horizon, 1, 1),
+        )
+        report = check_slackness(cluster, arrivals, availability)
+        assert report.worst_slot == 4
+
+    def test_rejects_bad_shapes(self):
+        cluster = small_cluster()
+        with pytest.raises(ValueError):
+            check_slackness(cluster, np.zeros((5, 3)), np.zeros((5, 2, 2)))
+        with pytest.raises(ValueError):
+            check_slackness(cluster, np.zeros((5, 2)), np.zeros((5, 3, 2)))
+
+    def test_default_scenarios_satisfy_slackness(self):
+        scn = small_scenario(horizon=100, seed=0)
+        report = check_slackness(scn.cluster, scn.arrivals, scn.availability)
+        assert report.feasible

@@ -1,0 +1,64 @@
+"""Unit tests for :class:`repro.model.state.ClusterState`."""
+
+import numpy as np
+import pytest
+
+from repro.model.state import ClusterState
+
+
+class TestConstruction:
+    def test_valid(self):
+        s = ClusterState(np.ones((2, 3)), [0.4, 0.5])
+        assert s.num_datacenters == 2
+        assert s.num_server_classes == 3
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            ClusterState(np.ones(3), [0.4])
+        with pytest.raises(ValueError):
+            ClusterState(np.ones((2, 3)), [[0.4]])
+
+    def test_rejects_site_count_mismatch(self):
+        with pytest.raises(ValueError):
+            ClusterState(np.ones((2, 3)), [0.4, 0.5, 0.6])
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ValueError):
+            ClusterState(-np.ones((1, 1)), [0.4])
+        with pytest.raises(ValueError):
+            ClusterState(np.ones((1, 1)), [-0.4])
+
+    def test_arrays_readonly_and_copied(self):
+        avail = np.ones((1, 1))
+        s = ClusterState(avail, [0.4])
+        avail[0, 0] = 99
+        assert s.availability[0, 0] == 1.0
+        with pytest.raises(ValueError):
+            s.availability[0, 0] = 5
+
+
+class TestDerived:
+    def test_capacities(self, cluster, state):
+        caps = state.capacities(cluster)
+        # Each site: 10 * 1.0 + 10 * 0.8 = 18.
+        np.testing.assert_allclose(caps, [18.0, 18.0])
+
+    def test_total_resource(self, cluster, state):
+        assert state.total_resource(cluster) == pytest.approx(36.0)
+
+    def test_validate_for_accepts(self, cluster, state):
+        assert state.validate_for(cluster) is state
+
+    def test_validate_for_rejects_over_plant(self, cluster):
+        avail = np.stack([dc.max_servers for dc in cluster.datacenters]) + 1
+        s = ClusterState(avail, [0.4, 0.5])
+        with pytest.raises(ValueError):
+            s.validate_for(cluster)
+
+    def test_dim_mismatch_detected(self, cluster):
+        s = ClusterState(np.ones((3, 2)), [0.1, 0.2, 0.3])
+        with pytest.raises(ValueError, match="sites"):
+            s.capacities(cluster)
+        s2 = ClusterState(np.ones((2, 5)), [0.1, 0.2])
+        with pytest.raises(ValueError, match="server classes"):
+            s2.capacities(cluster)

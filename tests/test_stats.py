@@ -1,0 +1,91 @@
+"""Tests for the bootstrap/paired-comparison statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    PairedComparison,
+    bootstrap_mean_ci,
+    paired_comparison,
+)
+
+
+class TestBootstrapCi:
+    def test_contains_true_mean_for_tight_data(self):
+        low, high = bootstrap_mean_ci([5.0, 5.1, 4.9, 5.05, 4.95])
+        assert low <= 5.0 <= high
+        assert high - low < 0.3
+
+    def test_single_value_degenerates(self):
+        assert bootstrap_mean_ci([3.0]) == (3.0, 3.0)
+
+    def test_deterministic_given_seed(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        assert bootstrap_mean_ci(data, seed=7) == bootstrap_mean_ci(data, seed=7)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([1.0], confidence=1.5)
+
+    def test_wider_confidence_widens_interval(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(0, 1, size=30)
+        low90, high90 = bootstrap_mean_ci(data, confidence=0.90)
+        low99, high99 = bootstrap_mean_ci(data, confidence=0.99)
+        assert high99 - low99 >= high90 - low90
+
+
+class TestPairedComparison:
+    def test_clear_winner(self):
+        result = paired_comparison(
+            lambda seed: (10.0 + 0.01 * seed, 12.0 + 0.01 * seed),
+            seeds=[0, 1, 2, 3, 4],
+            metric="energy",
+        )
+        assert result.a_wins
+        assert result.significant
+        assert result.mean_difference == pytest.approx(-2.0)
+
+    def test_paired_design_cancels_seed_noise(self):
+        """Per-seed noise shared by both sides does not blur the CI."""
+        rng = np.random.default_rng(1)
+        noise = {s: float(rng.normal(0, 50)) for s in range(6)}
+
+        result = paired_comparison(
+            lambda seed: (noise[seed] + 1.0, noise[seed] + 2.0),
+            seeds=list(range(6)),
+        )
+        assert result.mean_difference == pytest.approx(-1.0)
+        assert result.ci_high - result.ci_low < 0.1
+
+    def test_insignificant_when_equal(self):
+        result = paired_comparison(
+            lambda seed: (1.0 + (seed % 2) * 0.2, 1.1 + ((seed + 1) % 2) * 0.2),
+            seeds=list(range(8)),
+        )
+        assert isinstance(result, PairedComparison)
+        assert not result.a_wins or result.significant in (True, False)
+
+    def test_rejects_empty_seeds(self):
+        with pytest.raises(ValueError):
+            paired_comparison(lambda s: (0.0, 0.0), seeds=[])
+
+
+class TestEndToEnd:
+    def test_grefar_vs_always_energy_ci(self):
+        """A 3-seed paired comparison: GreFar's saving is significant."""
+        from repro.core.grefar import GreFarScheduler
+        from repro.scenarios import paper_scenario
+        from repro.schedulers import AlwaysScheduler
+        from repro.simulation.simulator import Simulator
+
+        def metric(seed):
+            scn = paper_scenario(horizon=250, seed=seed)
+            grefar = Simulator(scn, GreFarScheduler(scn.cluster, v=20.0)).run()
+            always = Simulator(scn, AlwaysScheduler(scn.cluster)).run()
+            return grefar.summary.avg_energy_cost, always.summary.avg_energy_cost
+
+        result = paired_comparison(metric, seeds=[0, 1, 2], metric="energy")
+        assert result.mean_difference < 0  # GreFar saves on average

@@ -1,0 +1,37 @@
+"""Tests for the (V, beta) tradeoff-surface experiment."""
+
+import pytest
+
+from repro.experiments import tradeoff_surface
+
+
+class TestSurface:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return tradeoff_surface.run(
+            horizon=120, seed=0, v_grid=(0.5, 20.0), beta_grid=(0.0, 200.0)
+        )
+
+    def test_shapes(self, result):
+        assert result.energy.shape == (2, 2)
+        assert result.fairness.shape == (2, 2)
+        assert result.delay.shape == (2, 2)
+
+    def test_point_accessor(self, result):
+        p = result.point(1, 0)
+        assert p["v"] == 20.0
+        assert p["beta"] == 0.0
+        assert p["energy"] == pytest.approx(float(result.energy[1, 0]))
+
+    def test_delay_rises_along_v(self, result):
+        assert result.delay[1, 0] >= result.delay[0, 0] - 0.05
+
+    def test_fairness_scores_valid(self, result):
+        assert (result.fairness <= 0).all()
+        assert (result.fairness > -1).all()
+
+    def test_main_prints(self, capsys):
+        tradeoff_surface.main(horizon=60)
+        out = capsys.readouterr().out
+        assert "tradeoff surface" in out
+        assert "beta" in out

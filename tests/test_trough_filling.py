@@ -1,0 +1,89 @@
+"""Tests for the trough-filling price-quantile baseline."""
+
+import numpy as np
+import pytest
+
+from repro.model.action import Action
+from repro.model.queues import QueueNetwork
+from repro.model.state import ClusterState
+from repro.schedulers.trough_filling import TroughFillingScheduler
+from repro.simulation.simulator import Simulator
+
+
+def _full_state(cluster, prices):
+    return ClusterState(
+        np.stack([dc.max_servers for dc in cluster.datacenters]), prices
+    )
+
+
+def _loaded_queues(cluster, jobs=3.0):
+    q = QueueNetwork(cluster)
+    q.step(Action.idle(cluster), np.array([jobs, 0.0]), t=0)
+    route = np.zeros((2, 2))
+    route[0, 0] = jobs
+    q.step(Action(route, np.zeros((2, 2)), np.zeros((2, 2))), np.zeros(2), t=1)
+    return q
+
+
+class TestConstruction:
+    def test_rejects_bad_params(self, cluster):
+        with pytest.raises(ValueError):
+            TroughFillingScheduler(cluster, quantile=1.5)
+        with pytest.raises(ValueError):
+            TroughFillingScheduler(cluster, window=1)
+        with pytest.raises(ValueError):
+            TroughFillingScheduler(cluster, max_backlog_work=0.0)
+
+
+class TestBehaviour:
+    def test_serves_at_cheap_prices(self, cluster):
+        scheduler = TroughFillingScheduler(cluster, quantile=0.3, window=10)
+        queues = _loaded_queues(cluster)
+        # Feed history: mostly expensive slots.
+        for t in range(2, 10):
+            scheduler.decide(t, _full_state(cluster, [1.0, 1.0]), QueueNetwork(cluster))
+        # A clearly cheap slot triggers service.
+        action = scheduler.decide(10, _full_state(cluster, [0.01, 0.01]), queues)
+        assert action.serve[0, 0] > 0
+
+    def test_defers_at_expensive_prices(self, cluster):
+        scheduler = TroughFillingScheduler(cluster, quantile=0.3, window=10)
+        queues = _loaded_queues(cluster)
+        for t in range(2, 10):
+            scheduler.decide(t, _full_state(cluster, [0.1, 0.1]), QueueNetwork(cluster))
+        action = scheduler.decide(10, _full_state(cluster, [5.0, 5.0]), queues)
+        assert action.serve.sum() == pytest.approx(0.0)
+
+    def test_backlog_cap_forces_service(self, cluster):
+        scheduler = TroughFillingScheduler(
+            cluster, quantile=0.1, window=10, max_backlog_work=1.0
+        )
+        queues = _loaded_queues(cluster, jobs=5.0)  # 5 work > cap
+        for t in range(2, 10):
+            scheduler.decide(t, _full_state(cluster, [0.1, 0.1]), QueueNetwork(cluster))
+        # Price is expensive relative to history, but the cap triggers.
+        action = scheduler.decide(10, _full_state(cluster, [5.0, 5.0]), queues)
+        assert action.serve[0, 0] > 0
+
+    def test_reset_clears_history(self, cluster):
+        scheduler = TroughFillingScheduler(cluster, window=10)
+        for t in range(5):
+            scheduler.decide(t, _full_state(cluster, [0.5, 0.5]), QueueNetwork(cluster))
+        scheduler.reset()
+        assert all(len(h) == 0 for h in scheduler._history)
+
+    def test_end_to_end_run(self, scenario):
+        result = Simulator(
+            scenario, TroughFillingScheduler(scenario.cluster), validate=True
+        ).run(40)
+        assert result.summary.horizon == 40
+
+    def test_cheaper_than_always_on_volatile_prices(self, scenario):
+        from repro.schedulers import AlwaysScheduler
+
+        trough = Simulator(
+            scenario,
+            TroughFillingScheduler(scenario.cluster, quantile=0.4, max_backlog_work=60),
+        ).run()
+        always = Simulator(scenario, AlwaysScheduler(scenario.cluster)).run()
+        assert trough.summary.avg_energy_cost <= always.summary.avg_energy_cost * 1.02

@@ -1,0 +1,114 @@
+"""Unit tests for the shared validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro._validation import (
+    as_float_array,
+    as_int_array,
+    require_array_shape,
+    require_in_range,
+    require_integer,
+    require_non_negative,
+    require_non_negative_array,
+    require_positive,
+)
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        assert require_positive(2.5, "x") == 2.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x"):
+            require_positive(0.0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            require_positive(-1.0, "x")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            require_positive(float("nan"), "x")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            require_positive(float("inf"), "x")
+
+
+class TestRequireNonNegative:
+    def test_accepts_zero(self):
+        assert require_non_negative(0.0, "x") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            require_non_negative(-0.1, "x")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            require_non_negative(float("nan"), "x")
+
+
+class TestRequireInRange:
+    def test_accepts_boundaries(self):
+        assert require_in_range(0.0, 0.0, 1.0, "x") == 0.0
+        assert require_in_range(1.0, 0.0, 1.0, "x") == 1.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            require_in_range(1.5, 0.0, 1.0, "x")
+        with pytest.raises(ValueError):
+            require_in_range(-0.5, 0.0, 1.0, "x")
+
+
+class TestRequireInteger:
+    def test_accepts_int(self):
+        assert require_integer(3, "x") == 3
+
+    def test_accepts_numpy_int(self):
+        assert require_integer(np.int64(5), "x") == 5
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            require_integer(True, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            require_integer(3.0, "x")
+
+    def test_enforces_minimum(self):
+        with pytest.raises(ValueError):
+            require_integer(1, "x", minimum=2)
+
+
+class TestArrayHelpers:
+    def test_require_array_shape(self):
+        arr = np.zeros((2, 3))
+        assert require_array_shape(arr, (2, 3), "x") is arr
+        with pytest.raises(ValueError):
+            require_array_shape(arr, (3, 2), "x")
+
+    def test_require_non_negative_array(self):
+        arr = np.array([0.0, 1.0])
+        assert require_non_negative_array(arr, "x") is arr
+        with pytest.raises(ValueError):
+            require_non_negative_array(np.array([-1.0]), "x")
+        with pytest.raises(ValueError):
+            require_non_negative_array(np.array([np.nan]), "x")
+
+    def test_as_float_array(self):
+        out = as_float_array([1, 2, 3], "x")
+        assert out.dtype == np.float64
+        np.testing.assert_array_equal(out, [1.0, 2.0, 3.0])
+
+    def test_as_float_array_rejects_strings(self):
+        with pytest.raises(TypeError):
+            as_float_array(["a"], "x")
+
+    def test_as_int_array(self):
+        out = as_int_array([1, 2], "x")
+        assert out.dtype == np.int64
+
+    def test_as_int_array_rejects_lossy(self):
+        with pytest.raises(ValueError):
+            as_int_array(np.array([1.5]), "x")

@@ -1,0 +1,234 @@
+"""Unit + property tests for the workload substrates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scenarios import small_cluster
+from repro.workloads import (
+    AvailabilityModel,
+    CompositeRate,
+    ConstantRate,
+    CosmosWorkload,
+    DiurnalRate,
+    OnOffBurstRate,
+    PoissonCounts,
+    PriceModel,
+    sample_bounded_poisson,
+)
+
+
+class TestRateProfiles:
+    def test_constant(self, rng):
+        rates = ConstantRate(3.0).rates(10, rng)
+        np.testing.assert_allclose(rates, 3.0)
+
+    def test_constant_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ConstantRate(-1.0)
+
+    def test_diurnal_mean_is_base(self, rng):
+        rates = DiurnalRate(base=2.0, amplitude=0.5, period=24).rates(240, rng)
+        assert rates.mean() == pytest.approx(2.0, rel=0.01)
+        assert np.all(rates >= 0)
+
+    def test_diurnal_has_period(self, rng):
+        rates = DiurnalRate(base=1.0, amplitude=0.9, period=24).rates(48, rng)
+        np.testing.assert_allclose(rates[:24], rates[24:], atol=1e-12)
+
+    def test_diurnal_rejects_bad_amplitude(self):
+        with pytest.raises(ValueError):
+            DiurnalRate(base=1.0, amplitude=1.5)
+
+    def test_onoff_two_levels(self, rng):
+        rates = OnOffBurstRate(on_rate=5.0, off_rate=1.0).rates(500, rng)
+        values = set(np.round(rates, 6))
+        assert values <= {1.0, 5.0}
+        assert len(values) == 2  # both states visited over 500 slots
+
+    def test_onoff_dwell_fractions(self, rng):
+        rates = OnOffBurstRate(
+            on_rate=1.0, off_rate=0.0, mean_on=10.0, mean_off=10.0
+        ).rates(5000, rng)
+        on_fraction = float(np.mean(rates > 0.5))
+        assert on_fraction == pytest.approx(0.5, abs=0.1)
+
+    def test_composite_multiplies(self, rng):
+        comp = CompositeRate(ConstantRate(2.0), ConstantRate(3.0))
+        np.testing.assert_allclose(comp.rates(5, rng), 6.0)
+
+    def test_composite_rejects_empty(self):
+        with pytest.raises(ValueError):
+            CompositeRate()
+
+
+class TestBoundedPoisson:
+    def test_respects_cap(self, rng):
+        counts = sample_bounded_poisson(np.full(1000, 50.0), cap=10, rng=rng)
+        assert counts.max() <= 10
+
+    def test_mean_tracks_rate_when_cap_loose(self, rng):
+        counts = sample_bounded_poisson(np.full(5000, 3.0), cap=100, rng=rng)
+        assert counts.mean() == pytest.approx(3.0, rel=0.1)
+
+    def test_rejects_bad_inputs(self, rng):
+        with pytest.raises(ValueError):
+            sample_bounded_poisson(np.array([1.0]), cap=0, rng=rng)
+        with pytest.raises(ValueError):
+            sample_bounded_poisson(np.array([-1.0]), cap=5, rng=rng)
+
+    def test_poisson_counts_wrapper(self, rng):
+        pc = PoissonCounts(ConstantRate(2.0), cap=7)
+        counts = pc.generate(100, rng)
+        assert counts.shape == (100,)
+        assert counts.max() <= 7
+
+
+class TestPriceModel:
+    def test_shape_and_positivity(self, rng):
+        model = PriceModel([0.4, 0.5, 0.6])
+        prices = model.generate(200, rng)
+        assert prices.shape == (200, 3)
+        assert np.all(prices >= model.floor)
+
+    def test_means_approximately_match(self, rng):
+        model = PriceModel([0.4, 0.6], volatility=0.1, daily_amplitude=0.2)
+        prices = model.generate(5000, rng)
+        np.testing.assert_allclose(prices.mean(axis=0), [0.4, 0.6], rtol=0.1)
+
+    def test_mean_ordering_preserved(self, rng):
+        model = PriceModel([0.392, 0.433, 0.548])
+        prices = model.generate(3000, rng)
+        means = prices.mean(axis=0)
+        assert means[0] < means[1] < means[2]
+
+    def test_correlation_between_sites(self, rng):
+        model = PriceModel([0.5, 0.5], correlation=0.9, daily_amplitude=0.0)
+        prices = model.generate(3000, rng)
+        corr = np.corrcoef(prices[:, 0], prices[:, 1])[0, 1]
+        assert corr > 0.5
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            PriceModel([])
+        with pytest.raises(ValueError):
+            PriceModel([0.0])
+        with pytest.raises(ValueError):
+            PriceModel([0.4], correlation=1.5)
+        with pytest.raises(ValueError):
+            PriceModel([0.4], phase_offsets=[1.0, 2.0])
+
+    def test_rejects_bad_horizon(self, rng):
+        with pytest.raises(ValueError):
+            PriceModel([0.4]).generate(0, rng)
+
+
+class TestAvailabilityModel:
+    def test_within_plant_and_floor(self, rng):
+        cluster = small_cluster()
+        model = AvailabilityModel(cluster, floor_fraction=0.6)
+        avail = model.generate(200, rng)
+        maxima = np.stack([dc.max_servers for dc in cluster.datacenters])
+        assert np.all(avail <= maxima + 1e-9)
+        assert np.all(avail >= 0.6 * maxima - 1.0)  # integer rounding slack
+
+    def test_integer_counts(self, rng):
+        cluster = small_cluster()
+        avail = AvailabilityModel(cluster).generate(50, rng)
+        np.testing.assert_allclose(avail, np.round(avail))
+
+    def test_fractional_counts_option(self, rng):
+        cluster = small_cluster()
+        avail = AvailabilityModel(cluster, integer_counts=False).generate(50, rng)
+        assert not np.allclose(avail, np.round(avail))
+
+    def test_min_capacity_is_lower_bound(self, rng):
+        cluster = small_cluster()
+        model = AvailabilityModel(cluster, floor_fraction=0.7)
+        avail = model.generate(300, rng)
+        caps = np.einsum("tnk,k->t", avail, cluster.speeds)
+        assert caps.min() >= model.min_capacity() - 1e-9
+
+    def test_rejects_bad_params(self):
+        cluster = small_cluster()
+        with pytest.raises(ValueError):
+            AvailabilityModel(cluster, floor_fraction=1.5)
+        with pytest.raises(ValueError):
+            AvailabilityModel(cluster).generate(0, np.random.default_rng(0))
+
+
+class TestCosmosWorkload:
+    def test_arrivals_shape_and_bounds(self, rng):
+        cluster = small_cluster()
+        wl = CosmosWorkload(cluster, mean_total_work=10.0)
+        arrivals = wl.generate(300, rng)
+        assert arrivals.shape == (300, 2)
+        for j, jt in enumerate(cluster.job_types):
+            assert arrivals[:, j].max() <= jt.max_arrivals
+
+    def test_mean_work_calibrated(self, rng):
+        cluster = small_cluster()
+        wl = CosmosWorkload(cluster, mean_total_work=10.0)
+        arrivals = wl.generate(5000, rng)
+        work = (arrivals @ cluster.demands).mean()
+        assert work == pytest.approx(10.0, rel=0.25)
+
+    def test_account_work_split_follows_shares(self, rng):
+        cluster = small_cluster()
+        wl = CosmosWorkload(cluster, mean_total_work=10.0)
+        arrivals = wl.generate(8000, rng)
+        per_org = wl.work_by_account(arrivals).mean(axis=0)
+        ratio = per_org / per_org.sum()
+        np.testing.assert_allclose(ratio, [0.6, 0.4], atol=0.08)
+
+    def test_admission_control_caps_total_work(self, rng):
+        cluster = small_cluster()
+        wl = CosmosWorkload(cluster, mean_total_work=10.0, max_total_work=18.0)
+        arrivals = wl.generate(2000, rng)
+        work = arrivals @ cluster.demands
+        assert work.max() <= 18.0 + 1e-9
+
+    def test_admission_control_validation(self):
+        cluster = small_cluster()
+        with pytest.raises(ValueError):
+            CosmosWorkload(cluster, mean_total_work=10.0, max_total_work=5.0)
+        with pytest.raises(ValueError):
+            CosmosWorkload(cluster, max_total_work=-1.0)
+
+    def test_work_targets_renormalize_shares(self):
+        cluster = small_cluster()
+        wl = CosmosWorkload(cluster, mean_total_work=10.0)
+        targets = wl.account_work_targets()
+        assert targets.sum() == pytest.approx(10.0)
+
+    def test_custom_profiles_override(self, rng):
+        cluster = small_cluster()
+        wl = CosmosWorkload(
+            cluster,
+            mean_total_work=10.0,
+            custom_profiles=[ConstantRate(0.0), None],
+        )
+        arrivals = wl.generate(200, rng)
+        assert arrivals[:, 0].sum() == 0  # account 0 silenced
+        assert arrivals[:, 1].sum() > 0
+
+    def test_custom_profiles_length_checked(self):
+        cluster = small_cluster()
+        with pytest.raises(ValueError):
+            CosmosWorkload(cluster, custom_profiles=[None])
+
+    def test_work_by_account_validates_shape(self):
+        cluster = small_cluster()
+        wl = CosmosWorkload(cluster)
+        with pytest.raises(ValueError):
+            wl.work_by_account(np.zeros((10, 5)))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_generation_is_seed_deterministic(self, seed):
+        cluster = small_cluster()
+        wl = CosmosWorkload(cluster, mean_total_work=8.0)
+        a = wl.generate(50, np.random.default_rng(seed))
+        b = wl.generate(50, np.random.default_rng(seed))
+        np.testing.assert_array_equal(a, b)
