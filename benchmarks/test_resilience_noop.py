@@ -1,0 +1,62 @@
+"""Benchmark: fault injection is strictly opt-in.
+
+Acceptance gate for the resilience subsystem: a run with an *empty*
+fault schedule must be bit-identical — the very same
+``SimulationSummary`` — to a run without any injector installed.  Every
+injector hook short-circuits on the empty schedule and returns its
+inputs unchanged, so the fault-free hot path stays allocation-free.
+"""
+
+from repro.core.grefar import GreFarScheduler
+from repro.faults import FaultInjector, FaultSchedule, RandomFaultProcess
+from repro.scenarios import paper_scenario
+from repro.simulation.simulator import Simulator
+
+from conftest import run_cached
+
+HORIZON = 300
+
+
+def _pair():
+    scenario = paper_scenario(horizon=HORIZON, seed=0)
+    cluster = scenario.cluster
+    scheduler = GreFarScheduler(cluster, v=7.5, beta=0.0)
+    plain = Simulator(scenario, scheduler).run()
+    injected = Simulator(
+        scenario,
+        scheduler,
+        injector=FaultInjector(cluster, FaultSchedule.empty()),
+    ).run()
+    return {"plain": plain, "injected": injected}
+
+
+def _result(benchmark):
+    return run_cached(benchmark, "resilience_noop", _pair)
+
+
+def test_empty_schedule_run_is_bit_identical(benchmark):
+    result = _result(benchmark)
+    assert result["plain"].summary == result["injected"].summary
+
+
+def test_injected_run_reports_no_fault_traffic(benchmark):
+    result = _result(benchmark)
+    summary = result["injected"].summary
+    assert summary.total_evicted_jobs == 0.0
+    assert summary.total_requeued_jobs == 0.0
+
+
+def test_zero_rate_random_process_is_also_a_noop(benchmark):
+    result = _result(benchmark)
+    scenario = paper_scenario(horizon=HORIZON, seed=0)
+    cluster = scenario.cluster
+    schedule = RandomFaultProcess().generate(
+        horizon=HORIZON, num_datacenters=cluster.num_datacenters, seed=0
+    )
+    assert schedule.is_empty
+    run = Simulator(
+        scenario,
+        GreFarScheduler(cluster, v=7.5, beta=0.0),
+        injector=FaultInjector(cluster, schedule),
+    ).run()
+    assert run.summary == result["plain"].summary

@@ -10,7 +10,6 @@ paired bootstrap confidence intervals:
   holds at every seed.
 """
 
-import pytest
 
 from repro.analysis.stats import paired_comparison
 from repro.core.grefar import GreFarScheduler

@@ -1,0 +1,113 @@
+"""Outage drill: take a data center dark mid-run and watch the recovery.
+
+Theorem 1 holds for *arbitrary* state processes, so nothing in GreFar's
+guarantee breaks when a whole site disappears — the queue bound
+``V*C3/delta`` keeps holding straight through the fault.  This drill
+injects a full outage of data center 2 for slots [100, 140) of a
+300-slot paper-scenario run:
+
+* at onset, every job queued at the dark site is evicted and re-admitted
+  into the central queues with exponential backoff (1, 2, 4, 8 slots);
+* while the site is down, GreFar's backpressure routing sends its share
+  of the work to the surviving (pricier) sites;
+* after the fault clears, the backlog drains back to its pre-fault
+  level within a deterministic number of slots.
+
+The ``ResilienceObserver`` measures the transient: recovery time,
+backlog overshoot, peak front queue versus the Theorem 1 bound, and the
+energy-cost inflation of running on the surviving sites.
+
+Run with:  python examples/outage_drill.py
+"""
+
+from repro import (
+    AlwaysScheduler,
+    FaultInjector,
+    FaultSchedule,
+    GreFarScheduler,
+    ResilienceObserver,
+    Simulator,
+    TheoremConstants,
+    check_slackness,
+    paper_scenario,
+)
+from repro.analysis import format_table
+
+HORIZON = 300
+OUTAGE_DC = 1  # "dc2" in the paper's Table I numbering
+OUTAGE_START, OUTAGE_DURATION = 100, 40
+V = 7.5
+
+
+def main() -> None:
+    scenario = paper_scenario(horizon=HORIZON, seed=0)
+    cluster = scenario.cluster
+    schedule = FaultSchedule.single_outage(
+        dc=OUTAGE_DC, start=OUTAGE_START, duration=OUTAGE_DURATION
+    )
+
+    # The eq. (23) queue bound, computed from the unfaulted trace's slack.
+    slack = check_slackness(cluster, scenario.arrivals, scenario.availability)
+    constants = TheoremConstants.from_scenario(
+        cluster, price_cap=float(scenario.prices.max()), beta=0.0
+    )
+    queue_bound = constants.queue_bound(V, slack.max_delta)
+
+    rows = []
+    for scheduler in [
+        GreFarScheduler(cluster, v=V, beta=0.0),
+        AlwaysScheduler(cluster),
+    ]:
+        injector = FaultInjector(cluster, schedule)
+        observer = ResilienceObserver(cluster, schedule, queue_bound=queue_bound)
+        result = Simulator(
+            scenario, scheduler, injector=injector, observers=[observer]
+        ).run()
+        report = observer.report(scheduler.name)
+        impact = report.impacts[0]
+        work = result.metrics.work_per_dc_series()
+        window = slice(OUTAGE_START, OUTAGE_START + OUTAGE_DURATION)
+        rows.append(
+            (
+                scheduler.name,
+                impact.recovery_slots if impact.recovered else float("nan"),
+                impact.overshoot,
+                impact.peak_front_queue,
+                impact.cost_inflation,
+                result.summary.total_evicted_jobs,
+                float(work[window, OUTAGE_DC].sum()),
+            )
+        )
+
+    print(
+        format_table(
+            [
+                "Scheduler",
+                "Recovery slots",
+                "Overshoot",
+                "Peak front Q",
+                "Cost inflation",
+                "Evicted",
+                "Work at dark site",
+            ],
+            rows,
+            precision=4,
+            title=(
+                f"Full outage of dc{OUTAGE_DC + 1}, slots "
+                f"[{OUTAGE_START}, {OUTAGE_START + OUTAGE_DURATION}) — "
+                f"queue bound V*C3/delta = {queue_bound:.3g}"
+            ),
+        )
+    )
+    print(
+        "\nThe dark site serves exactly zero work during the outage; its share\n"
+        "moves to the surviving sites (hence the cost inflation), the front\n"
+        "queue stays orders of magnitude below the Theorem 1 bound, and the\n"
+        "backlog returns to its pre-fault level shortly after the site heals.\n"
+        "Try `python -m repro.cli resilience --compare` for more baselines,\n"
+        "other fault kinds (--kind stale_price) and windows."
+    )
+
+
+if __name__ == "__main__":
+    main()

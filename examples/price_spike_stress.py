@@ -15,7 +15,6 @@ import numpy as np
 from repro import (
     AlwaysScheduler,
     GreFarScheduler,
-    QueueNetwork,
     Scenario,
     Simulator,
     small_cluster,

@@ -15,7 +15,10 @@ The package provides:
 * workload substrates standing in for the proprietary inputs (Cosmos
   traces, FERC prices);
 * a time-slotted simulator with the paper's running-average metrics;
-* Theorem 1 constants/bounds and slackness checking.
+* Theorem 1 constants/bounds and slackness checking;
+* a fault-injection & resilience subsystem (:mod:`repro.faults`):
+  outages, capacity crashes, stale price feeds and partitions with
+  degraded-mode scheduling and recovery reporting.
 
 Quickstart::
 
@@ -68,6 +71,16 @@ from repro.core.admission import (
     AdmitAll,
     BacklogCapAdmission,
 )
+from repro.faults import (
+    FaultEvent,
+    FaultImpact,
+    FaultInjector,
+    FaultSchedule,
+    RandomFaultProcess,
+    RequeuePolicy,
+    ResilienceObserver,
+    ResilienceReport,
+)
 from repro.schedulers import (
     AlwaysScheduler,
     LookaheadPolicy,
@@ -112,6 +125,10 @@ __all__ = [
     "DataCenter",
     "DelayStats",
     "FairnessFunction",
+    "FaultEvent",
+    "FaultImpact",
+    "FaultInjector",
+    "FaultSchedule",
     "GreFarScheduler",
     "JainFairness",
     "JobBatch",
@@ -128,8 +145,12 @@ __all__ = [
     "PricingModel",
     "QuadraticFairness",
     "QueueNetwork",
+    "RandomFaultProcess",
     "RandomRoutingScheduler",
     "RecedingHorizonScheduler",
+    "RequeuePolicy",
+    "ResilienceObserver",
+    "ResilienceReport",
     "RoundRobinScheduler",
     "Scenario",
     "Scheduler",

@@ -9,7 +9,6 @@ queue"), plus helpers for comparing both.
 
 from __future__ import annotations
 
-import numpy as np
 
 __all__ = ["littles_law_delay", "delay_percentile_bound"]
 

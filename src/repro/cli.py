@@ -7,6 +7,7 @@ Usage (also available as ``python -m repro.cli``)::
     repro compare --horizon 500               # GreFar vs every baseline
     repro sweep-v --values 0.1,2.5,7.5,20     # the Fig. 2 sweep
     repro experiment fig2 --horizon 2000      # regenerate a paper figure
+    repro resilience --dc 1 --start 150 --duration 60   # outage drill
 """
 
 from __future__ import annotations
@@ -17,7 +18,11 @@ from typing import Sequence
 
 from repro.analysis import format_table
 from repro.analysis.tradeoff import sweep_v
+from repro.core.bounds import TheoremConstants
 from repro.core.grefar import GreFarScheduler
+from repro.core.slackness import check_slackness
+from repro.faults import FaultEvent, FaultInjector, FaultSchedule, ResilienceObserver
+from repro.faults.events import FAULT_KINDS
 from repro.scenarios import paper_scenario
 from repro.schedulers import (
     AlwaysScheduler,
@@ -153,6 +158,84 @@ def _cmd_sweep_v(args) -> int:
     return 0
 
 
+def _cmd_resilience(args) -> int:
+    """Run a fault drill and report recovery/overshoot per scheduler."""
+    scenario = paper_scenario(horizon=args.horizon, seed=args.seed)
+    cluster = scenario.cluster
+    if args.start + args.duration > args.horizon:
+        print("error: fault window must end within the horizon", file=sys.stderr)
+        return 2
+    try:
+        event = FaultEvent(
+            args.kind, dc=args.dc, start=args.start, duration=args.duration,
+            severity=args.severity,
+        )
+        schedule = FaultSchedule((event,)).validate_for(cluster, args.horizon)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    # Reference queue bound (eq. 23) from the *unfaulted* trace's slack.
+    queue_bound = None
+    if args.v > 0:
+        slack = check_slackness(cluster, scenario.arrivals, scenario.availability)
+        if slack.feasible:
+            constants = TheoremConstants.from_scenario(
+                cluster, price_cap=float(scenario.prices.max()), beta=args.beta
+            )
+            queue_bound = constants.queue_bound(args.v, slack.max_delta)
+
+    contenders = [GreFarScheduler(cluster, v=args.v, beta=args.beta)]
+    if args.compare:
+        contenders += [AlwaysScheduler(cluster), RandomRoutingScheduler(cluster)]
+    rows = []
+    for scheduler in contenders:
+        injector = FaultInjector(cluster, schedule)
+        observer = ResilienceObserver(cluster, schedule, queue_bound=queue_bound)
+        result = Simulator(
+            scenario, scheduler, injector=injector, observers=[observer]
+        ).run()
+        report = observer.report(scheduler.name)
+        impact = report.impacts[0]
+        summary = result.summary
+        rows.append(
+            (
+                scheduler.name,
+                "yes" if impact.recovered else "NO",
+                impact.recovery_slots if impact.recovered else float("nan"),
+                impact.overshoot,
+                impact.peak_front_queue,
+                impact.cost_inflation,
+                summary.total_evicted_jobs,
+                summary.avg_energy_cost,
+            )
+        )
+    title = (
+        f"{event.kind} at dc{event.dc + 1}, slots "
+        f"[{event.start}, {event.end}) of {args.horizon} (seed {args.seed})"
+    )
+    if queue_bound is not None:
+        title += f" — queue bound V*C3/delta = {queue_bound:.4g}"
+    print(
+        format_table(
+            [
+                "Scheduler",
+                "Recovered",
+                "Recovery slots",
+                "Overshoot",
+                "Peak front Q",
+                "Cost inflation",
+                "Evicted",
+                "Avg energy",
+            ],
+            rows,
+            precision=4,
+            title=title,
+        )
+    )
+    return 0
+
+
 def _cmd_experiment(args) -> int:
     module_path = _EXPERIMENTS.get(args.name)
     if module_path is None:
@@ -205,6 +288,26 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--horizon", type=int, default=500)
     sweep.add_argument("--seed", type=int, default=0)
 
+    resilience = sub.add_parser(
+        "resilience", help="fault drill: inject a fault, report recovery"
+    )
+    resilience.add_argument("--kind", choices=FAULT_KINDS, default="outage")
+    resilience.add_argument("--dc", type=int, default=1, help="0-based site index")
+    resilience.add_argument("--start", type=int, default=150)
+    resilience.add_argument("--duration", type=int, default=60)
+    resilience.add_argument(
+        "--severity", type=float, default=1.0, help="capacity fraction lost"
+    )
+    resilience.add_argument("--v", type=float, default=7.5)
+    resilience.add_argument("--beta", type=float, default=0.0)
+    resilience.add_argument("--horizon", type=int, default=400)
+    resilience.add_argument("--seed", type=int, default=0)
+    resilience.add_argument(
+        "--compare",
+        action="store_true",
+        help="also run the Always and RandomRouting baselines",
+    )
+
     exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp.add_argument("name", help=f"one of {sorted(_EXPERIMENTS)}")
     exp.add_argument("--horizon", type=int, default=None)
@@ -218,6 +321,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "compare": _cmd_compare,
     "sweep-v": _cmd_sweep_v,
+    "resilience": _cmd_resilience,
     "experiment": _cmd_experiment,
 }
 

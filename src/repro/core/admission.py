@@ -11,7 +11,7 @@ central queues.  Rejected jobs are counted, never silently lost.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

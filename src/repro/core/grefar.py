@@ -115,9 +115,10 @@ class GreFarScheduler(Scheduler):
     # ------------------------------------------------------------------
     def decide(self, t: int, state: ClusterState, queues: QueueNetwork) -> Action:
         """Minimize the drift-plus-penalty expression (14) for slot *t*."""
+        state = self.prepare_state(state)
         front = queues.front
         dc = queues.dc
-        route = self._route(front, dc)
+        route = self._route(front, dc, state.capacities(self.cluster))
         problem = self._problem(state, dc)
         h = self._solve(problem)
         return Action(route, h, problem.busy_for(h))
@@ -125,9 +126,14 @@ class GreFarScheduler(Scheduler):
     # ------------------------------------------------------------------
     # Routing: linear in r with coefficient (q_ij - Q_j) plus, when
     # sites charge for ingress bandwidth (the [2] extension), the
-    # transfer cost V * c_i * d_j.
+    # transfer cost V * c_i * d_j.  Degraded mode: sites observed at
+    # zero capacity (an outage) are skipped — after an eviction their
+    # emptied queues would otherwise look maximally attractive to the
+    # backpressure rule, re-routing work straight back into the crater.
     # ------------------------------------------------------------------
-    def _route(self, front: np.ndarray, dc: np.ndarray) -> np.ndarray:
+    def _route(
+        self, front: np.ndarray, dc: np.ndarray, capacities: np.ndarray
+    ) -> np.ndarray:
         cluster = self.cluster
         n, j_count = dc.shape
         route = np.zeros((n, j_count))
@@ -135,7 +141,11 @@ class GreFarScheduler(Scheduler):
         ingress = cluster.ingress_costs
         demands = cluster.demands
         for j in range(j_count):
-            eligible = sorted(cluster.job_types[j].eligible_dcs)
+            eligible = sorted(
+                i
+                for i in cluster.job_types[j].eligible_dcs
+                if capacities[i] > 0.0
+            )
 
             def coefficient(i: int, jj: int = j) -> float:
                 return float(

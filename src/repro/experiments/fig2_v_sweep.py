@@ -15,7 +15,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-import numpy as np
 
 from repro.analysis.tables import format_table
 from repro.core.grefar import GreFarScheduler

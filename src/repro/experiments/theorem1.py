@@ -23,7 +23,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-import numpy as np
 
 from repro.analysis.tables import format_table
 from repro.core.bounds import TheoremConstants

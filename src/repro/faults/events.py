@@ -1,0 +1,290 @@
+"""Fault events and schedules for the resilience subsystem.
+
+GreFar's guarantee (Theorem 1) holds for *arbitrary* state processes,
+but the benign workload substrates only exercise mean-reverting drift.
+This module gives faults first-class structure so regime shifts — a
+data center going dark, a price feed going stale, a network partition —
+can be injected deterministically and studied:
+
+* :class:`FaultEvent` — one fault: a kind, a target site, a window;
+* :class:`FaultSchedule` — an immutable, start-ordered collection with
+  per-slot queries;
+* :class:`RandomFaultProcess` — a seeded generator of schedules for
+  chaos-style sweeps (deterministic for a fixed seed).
+
+The *semantics* of each kind are applied by
+:class:`~repro.faults.injector.FaultInjector`:
+
+``outage``
+    The site loses every server (ground truth availability drops to
+    zero) and all work queued there is evicted back toward the central
+    queues.  The loss is observable — schedulers see the zeros.
+``capacity_loss``
+    A fraction ``severity`` of the site's servers crashes (ground truth
+    scaled by ``1 - severity``); also observable.
+``stale_price``
+    The site's price *signal* goes missing: the ground truth keeps
+    evolving, but the scheduler observes a missing value (NaN) and must
+    fall back to its last-known-good estimate.
+``partition``
+    The site is unreachable: both its availability and price signals go
+    missing, and no routing/service/power commands get through, so the
+    site's queue freezes until the partition heals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro._validation import require_in_range, require_integer
+from repro.model.cluster import Cluster
+
+__all__ = ["FAULT_KINDS", "FaultEvent", "FaultSchedule", "RandomFaultProcess"]
+
+#: The fault kinds understood by the injector.
+FAULT_KINDS = ("outage", "capacity_loss", "stale_price", "partition")
+
+#: Kinds that perturb the ground-truth capacity the dynamics run on.
+CAPACITY_KINDS = ("outage", "capacity_loss")
+
+#: Kinds that perturb only what the scheduler observes.
+SIGNAL_KINDS = ("stale_price", "partition")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault: *kind* hits data center *dc* for slots ``[start, end)``.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    dc:
+        Index of the affected data center.
+    start:
+        First slot the fault is active.
+    duration:
+        Number of slots the fault lasts (``end = start + duration``).
+    severity:
+        For ``capacity_loss``, the fraction of capacity lost, in
+        ``(0, 1]``.  Ignored by the other kinds (an outage is always
+        total).
+    """
+
+    kind: str
+    dc: int
+    start: int
+    duration: int
+    severity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"kind must be one of {FAULT_KINDS}, got {self.kind!r}"
+            )
+        require_integer(self.dc, "dc", minimum=0)
+        require_integer(self.start, "start", minimum=0)
+        require_integer(self.duration, "duration", minimum=1)
+        require_in_range(self.severity, 0.0, 1.0, "severity")
+        if self.severity <= 0.0:
+            raise ValueError(f"severity must be positive, got {self.severity}")
+
+    @property
+    def end(self) -> int:
+        """First slot after the fault (exclusive)."""
+        return self.start + self.duration
+
+    def active_at(self, t: int) -> bool:
+        """True if the fault is in force during slot *t*."""
+        return self.start <= t < self.end
+
+    @property
+    def capacity_factor(self) -> float:
+        """Multiplier applied to the site's true availability."""
+        if self.kind == "outage":
+            return 0.0
+        if self.kind == "capacity_loss":
+            return 1.0 - self.severity
+        return 1.0
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable collection of :class:`FaultEvent`, ordered by start.
+
+    An empty schedule is a strict no-op: an injector built from it must
+    leave a simulation bit-identical to one run without any injector.
+    """
+
+    events: tuple = field(default=())
+
+    def __post_init__(self) -> None:
+        for event in self.events:
+            if not isinstance(event, FaultEvent):
+                raise TypeError(f"events must be FaultEvent instances, got {event!r}")
+        events = tuple(sorted(self.events, key=lambda e: (e.start, e.dc, e.kind)))
+        object.__setattr__(self, "events", events)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the schedule contains no events (strict no-op)."""
+        return not self.events
+
+    def active(self, t: int) -> tuple:
+        """All events in force during slot *t* (possibly empty)."""
+        return tuple(e for e in self.events if e.active_at(t))
+
+    def starting(self, t: int) -> tuple:
+        """Events whose window opens exactly at slot *t* (onset hooks)."""
+        return tuple(e for e in self.events if e.start == t)
+
+    def validate_for(self, cluster: Cluster, horizon: int | None = None) -> "FaultSchedule":
+        """Check every event targets a real site (and fits *horizon*)."""
+        n = cluster.num_datacenters
+        for event in self.events:
+            if event.dc >= n:
+                raise ValueError(
+                    f"event targets data center {event.dc} but the cluster has {n}"
+                )
+            if horizon is not None and event.start >= horizon:
+                raise ValueError(
+                    f"event starts at slot {event.start}, beyond horizon {horizon}"
+                )
+        return self
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "FaultSchedule":
+        """The no-op schedule."""
+        return cls(())
+
+    @classmethod
+    def single_outage(cls, dc: int, start: int, duration: int) -> "FaultSchedule":
+        """A full outage of one site — the canonical drill."""
+        return cls((FaultEvent("outage", dc=dc, start=start, duration=duration),))
+
+    # ------------------------------------------------------------------
+    # Trace baking (offline use, without an injector)
+    # ------------------------------------------------------------------
+    def bake_truth(self, scenario):
+        """Return a copy of *scenario* with capacity faults applied.
+
+        Only the ground-truth effects (``outage`` / ``capacity_loss``)
+        can be baked into a static trace; signal faults need the
+        injector's observed-vs-truth split.
+        """
+        from repro.simulation.trace import Scenario
+        from repro.workloads.availability import apply_capacity_faults
+
+        return Scenario(
+            cluster=scenario.cluster,
+            arrivals=scenario.arrivals,
+            availability=apply_capacity_faults(scenario.availability, self.events),
+            prices=scenario.prices,
+        )
+
+
+@dataclass(frozen=True)
+class RandomFaultProcess:
+    """Seeded random fault generator for chaos-style sweeps.
+
+    Each site draws independently: every slot outside an active fault,
+    a fault of each kind starts with the configured per-slot
+    probability, lasting ``1 + Geometric`` slots with the configured
+    mean.  Faults of the same site never overlap; different sites may
+    fail simultaneously.  Deterministic for a fixed seed.
+
+    Parameters
+    ----------
+    outage_rate, capacity_loss_rate, stale_price_rate, partition_rate:
+        Per-slot start probabilities per site.
+    mean_duration:
+        Mean fault duration in slots (geometric).
+    severity_range:
+        ``(low, high)`` severity drawn uniformly for capacity losses.
+    """
+
+    outage_rate: float = 0.0
+    capacity_loss_rate: float = 0.0
+    stale_price_rate: float = 0.0
+    partition_rate: float = 0.0
+    mean_duration: float = 10.0
+    severity_range: tuple = (0.3, 0.9)
+
+    def __post_init__(self) -> None:
+        for name in (
+            "outage_rate",
+            "capacity_loss_rate",
+            "stale_price_rate",
+            "partition_rate",
+        ):
+            require_in_range(getattr(self, name), 0.0, 1.0, name)
+        if self.mean_duration < 1.0:
+            raise ValueError(
+                f"mean_duration must be >= 1 slot, got {self.mean_duration}"
+            )
+        low, high = self.severity_range
+        require_in_range(low, 0.0, 1.0, "severity_range low")
+        require_in_range(high, 0.0, 1.0, "severity_range high")
+        if low > high or low <= 0.0:
+            raise ValueError(f"severity_range must satisfy 0 < low <= high, got {self.severity_range}")
+
+    def _rates(self) -> Sequence[tuple]:
+        return (
+            ("outage", self.outage_rate),
+            ("capacity_loss", self.capacity_loss_rate),
+            ("stale_price", self.stale_price_rate),
+            ("partition", self.partition_rate),
+        )
+
+    def generate(
+        self,
+        horizon: int,
+        num_datacenters: int,
+        seed: int | np.random.Generator = 0,
+    ) -> FaultSchedule:
+        """Draw a :class:`FaultSchedule` for *horizon* slots over *n* sites."""
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        require_integer(num_datacenters, "num_datacenters", minimum=1)
+        rng = (
+            seed
+            if isinstance(seed, np.random.Generator)
+            else np.random.default_rng(seed)
+        )
+        events = []
+        p_extra = 1.0 / self.mean_duration  # duration = 1 + Geometric(p)
+        for dc in range(num_datacenters):
+            t = 0
+            while t < horizon:
+                started = None
+                for kind, rate in self._rates():
+                    if rate > 0.0 and rng.random() < rate:
+                        started = kind
+                        break
+                if started is None:
+                    t += 1
+                    continue
+                duration = 1 + int(rng.geometric(min(p_extra, 1.0))) - 1
+                duration = max(1, min(duration, horizon - t))
+                severity = 1.0
+                if started == "capacity_loss":
+                    low, high = self.severity_range
+                    severity = float(rng.uniform(low, high))
+                events.append(
+                    FaultEvent(started, dc=dc, start=t, duration=duration, severity=severity)
+                )
+                t += duration  # no overlap within one site
+        return FaultSchedule(tuple(events))

@@ -1,0 +1,221 @@
+"""Resilience measurement: recovery time, overshoot and cost inflation.
+
+:class:`ResilienceObserver` is an ordinary simulation observer
+(``(t, state, action, queues)``) that, given the fault schedule, turns
+a faulted run into a :class:`ResilienceReport`:
+
+* **recovery time** — slots from the moment a fault clears until the
+  total backlog first returns to its pre-fault level (within a
+  tolerance);
+* **backlog overshoot** — the peak backlog reached during the fault
+  and recovery, in absolute terms and (when Theorem 1 constants are
+  supplied) relative to the ``V C3 / delta`` queue bound of eq. (23),
+  which keeps holding *through* the fault because GreFar assumes
+  nothing about the state process;
+* **cost inflation** — average energy cost over the fault + recovery
+  window relative to the pre-fault average (re-routed work runs at
+  whatever sites survive, usually pricier ones).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.faults.events import FaultEvent, FaultSchedule
+from repro.model.cluster import Cluster
+
+__all__ = ["FaultImpact", "ResilienceObserver", "ResilienceReport"]
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class FaultImpact:
+    """Measured impact of one fault event.
+
+    Attributes
+    ----------
+    event:
+        The fault this impact describes.
+    pre_backlog:
+        Total backlog (jobs) at the end of the slot before onset.
+    peak_backlog:
+        Largest total backlog observed from onset until recovery (or
+        the end of the run).
+    peak_front_queue:
+        Largest single central-queue length over the same window (the
+        quantity the eq. (23) bound constrains).
+    recovery_slots:
+        Slots from the fault clearing until the backlog first returned
+        to ``pre_backlog + tolerance`` — ``None`` if it never did
+        within the run.
+    cost_inflation:
+        Mean energy cost over the fault + recovery window divided by
+        the pre-fault mean (1.0 = no inflation; NaN if there was no
+        pre-fault window).
+    """
+
+    event: FaultEvent
+    pre_backlog: float
+    peak_backlog: float
+    peak_front_queue: float
+    recovery_slots: int | None
+    cost_inflation: float
+
+    @property
+    def overshoot(self) -> float:
+        """Backlog growth above the pre-fault level."""
+        return max(self.peak_backlog - self.pre_backlog, 0.0)
+
+    @property
+    def recovered(self) -> bool:
+        """True if the backlog returned to its pre-fault level."""
+        return self.recovery_slots is not None
+
+
+@dataclass(frozen=True)
+class ResilienceReport:
+    """Per-event impacts plus run-level aggregates."""
+
+    scheduler: str
+    impacts: tuple
+    queue_bound: float | None
+
+    @property
+    def all_recovered(self) -> bool:
+        """True if every fault's backlog impact was fully absorbed."""
+        return all(impact.recovered for impact in self.impacts)
+
+    @property
+    def max_recovery_slots(self) -> int | None:
+        """Worst recovery time across events (``None`` if any never recovered)."""
+        worst = 0
+        for impact in self.impacts:
+            if impact.recovery_slots is None:
+                return None
+            worst = max(worst, impact.recovery_slots)
+        return worst
+
+    @property
+    def max_overshoot(self) -> float:
+        """Largest backlog overshoot across events."""
+        return max((i.overshoot for i in self.impacts), default=0.0)
+
+    @property
+    def peak_front_queue(self) -> float:
+        """Largest central-queue length seen in any fault window."""
+        return max((i.peak_front_queue for i in self.impacts), default=0.0)
+
+    def bound_utilization(self) -> float | None:
+        """Peak front queue as a fraction of the ``V C3 / delta`` bound."""
+        if self.queue_bound is None or self.queue_bound <= 0:
+            return None
+        return self.peak_front_queue / self.queue_bound
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for tabular output."""
+        return {
+            "scheduler": self.scheduler,
+            "events": len(self.impacts),
+            "all_recovered": self.all_recovered,
+            "max_recovery_slots": self.max_recovery_slots,
+            "max_overshoot": self.max_overshoot,
+            "peak_front_queue": self.peak_front_queue,
+            "queue_bound": self.queue_bound,
+            "bound_utilization": self.bound_utilization(),
+            "cost_inflation": [float(i.cost_inflation) for i in self.impacts],
+        }
+
+
+class ResilienceObserver:
+    """Observer recording the series a :class:`ResilienceReport` needs.
+
+    Parameters
+    ----------
+    cluster:
+        Static system description (for energy accounting).
+    schedule:
+        The injected faults to attribute impacts to.
+    queue_bound:
+        Optional precomputed ``V C3 / delta`` bound (eq. 23) to report
+        overshoot against — see
+        :meth:`repro.core.bounds.TheoremConstants.queue_bound`.
+    tolerance:
+        Absolute backlog slack (jobs) within which the system counts
+        as recovered.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        schedule: FaultSchedule,
+        queue_bound: float | None = None,
+        tolerance: float = 1e-6,
+    ) -> None:
+        self.cluster = cluster
+        self.schedule = schedule
+        self.queue_bound = queue_bound
+        self.tolerance = float(tolerance)
+        self._backlog: list = []
+        self._front_max: list = []
+        self._energy: list = []
+        self._scheduler_name = ""
+
+    # ------------------------------------------------------------------
+    def __call__(self, t, state, action, queues) -> None:
+        self._backlog.append(queues.total_backlog())
+        front = queues.front
+        self._front_max.append(float(front.max()) if front.size else 0.0)
+        self._energy.append(action.energy_cost(self.cluster, state))
+
+    # ------------------------------------------------------------------
+    def _impact(self, event: FaultEvent) -> FaultImpact:
+        backlog = np.asarray(self._backlog)
+        front_max = np.asarray(self._front_max)
+        energy = np.asarray(self._energy)
+        horizon = len(backlog)
+        start = min(event.start, horizon)
+        end = min(event.end, horizon)
+        pre = float(backlog[start - 1]) if start > 0 else 0.0
+
+        # Recovery: first slot at/after the fault clears with backlog
+        # back at the pre-fault level.
+        recovery_slots: int | None = None
+        recovered_at = horizon
+        for t in range(end, horizon):
+            if backlog[t] <= pre + self.tolerance:
+                recovery_slots = t - end
+                recovered_at = t
+                break
+
+        window = slice(start, max(recovered_at + 1, end))
+        peak = float(backlog[window].max()) if backlog[window].size else pre
+        peak_front = float(front_max[window].max()) if front_max[window].size else 0.0
+
+        pre_energy = float(energy[:start].mean()) if start > 0 else np.nan
+        window_energy = (
+            float(energy[window].mean()) if energy[window].size else np.nan
+        )
+        if pre_energy and np.isfinite(pre_energy) and pre_energy > _EPS:
+            inflation = window_energy / pre_energy
+        else:
+            inflation = float("nan")
+        return FaultImpact(
+            event=event,
+            pre_backlog=pre,
+            peak_backlog=max(peak, pre),
+            peak_front_queue=peak_front,
+            recovery_slots=recovery_slots,
+            cost_inflation=inflation,
+        )
+
+    def report(self, scheduler: str = "") -> ResilienceReport:
+        """Compute the :class:`ResilienceReport` for the recorded run."""
+        impacts = tuple(self._impact(event) for event in self.schedule)
+        return ResilienceReport(
+            scheduler=scheduler,
+            impacts=impacts,
+            queue_bound=self.queue_bound,
+        )

@@ -24,7 +24,6 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
-import numpy as np
 
 from repro._validation import require_non_negative
 

@@ -249,6 +249,33 @@ class QueueNetwork:
                     break
         return Action(r, h, action.busy)
 
+    def evict_dc(self, dc: int) -> np.ndarray:
+        """Evict every job queued at site *dc*; return per-type counts.
+
+        Used by the fault injector at outage onset: the site's scalar
+        queues are zeroed and its FIFO ledgers cleared without recording
+        any service (the jobs were *not* completed).  The caller owns
+        re-admission — evicted work re-enters the central queues through
+        the ordinary arrival path of eq. (12), typically with a backoff
+        (see :class:`~repro.faults.injector.RequeuePolicy`), so the
+        queue dynamics stay exactly the paper's.
+
+        Returns the ledger-based per-type counts (equal to the scalar
+        queue contents for physical schedulers).
+        """
+        if not 0 <= dc < self._cluster.num_datacenters:
+            raise IndexError(
+                f"dc must be in [0, {self._cluster.num_datacenters}), got {dc}"
+            )
+        j_count = self._cluster.num_job_types
+        counts = np.zeros(j_count)
+        for jj in range(j_count):
+            ledger = self._dc_ledger[(dc, jj)]
+            counts[jj] = sum(batch[1] for batch in ledger)
+            ledger.clear()
+        self._dc[dc] = 0.0
+        return counts
+
     def step(self, action: Action, arrivals: np.ndarray, t: int) -> dict:
         """Advance one slot: apply service, routing, then arrivals.
 

@@ -32,12 +32,24 @@ class ClusterState:
         ``i`` during the slot.
     prices:
         Length-``N`` vector of electricity prices ``phi_i(t)``.
+    missing_ok:
+        If True, NaN entries are permitted and mean "signal missing"
+        (a stale price feed, a partitioned site).  Such *observed*
+        states are produced by :class:`~repro.faults.injector.FaultInjector`;
+        schedulers substitute last-known-good values via
+        :meth:`~repro.schedulers.base.Scheduler.prepare_state` before
+        using them.  Ground-truth states never carry NaN.
     """
 
     availability: np.ndarray
     prices: np.ndarray
 
-    def __init__(self, availability: np.ndarray, prices: Sequence[float]) -> None:
+    def __init__(
+        self,
+        availability: np.ndarray,
+        prices: Sequence[float],
+        missing_ok: bool = False,
+    ) -> None:
         avail = np.asarray(availability, dtype=np.float64)
         price = np.asarray(prices, dtype=np.float64)
         if avail.ndim != 2:
@@ -48,8 +60,16 @@ class ClusterState:
             raise ValueError(
                 f"availability has {avail.shape[0]} sites but prices has {price.shape[0]}"
             )
-        require_non_negative_array(avail, "availability")
-        require_non_negative_array(price, "prices")
+        if missing_ok:
+            for name, arr in (("availability", avail), ("prices", price)):
+                finite_or_nan = np.isfinite(arr) | np.isnan(arr)
+                if not np.all(finite_or_nan):
+                    raise ValueError(f"{name} must contain only finite or NaN values")
+                if np.any(arr < 0):  # NaN compares False: only real negatives trip
+                    raise ValueError(f"{name} must be element-wise non-negative")
+        else:
+            require_non_negative_array(avail, "availability")
+            require_non_negative_array(price, "prices")
         avail = avail.copy()
         price = price.copy()
         avail.setflags(write=False)
@@ -61,6 +81,24 @@ class ClusterState:
     def num_datacenters(self) -> int:
         """``N`` for this snapshot."""
         return int(self.availability.shape[0])
+
+    # ------------------------------------------------------------------
+    # Missing-signal introspection (observed states under faults)
+    # ------------------------------------------------------------------
+    @property
+    def missing_prices(self) -> np.ndarray:
+        """Boolean length-``N`` mask of missing (NaN) price signals."""
+        return np.isnan(self.prices)
+
+    @property
+    def missing_availability(self) -> np.ndarray:
+        """Boolean ``(N, K)`` mask of missing (NaN) availability signals."""
+        return np.isnan(self.availability)
+
+    @property
+    def has_missing(self) -> bool:
+        """True if any signal in this snapshot is missing."""
+        return bool(np.isnan(self.prices).any() or np.isnan(self.availability).any())
 
     @property
     def num_server_classes(self) -> int:

@@ -11,7 +11,6 @@ which drives the work-distribution result of Section VI-B1.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.model.cluster import Cluster
 from repro.model.datacenter import DataCenter

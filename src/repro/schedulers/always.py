@@ -16,7 +16,6 @@ value, energy has zero weight).
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.model.action import Action
 from repro.model.cluster import Cluster
@@ -37,9 +36,12 @@ class AlwaysScheduler(Scheduler):
         self.name = "Always"
 
     def decide(self, t: int, state: ClusterState, queues: QueueNetwork) -> Action:
+        state = self.prepare_state(state)
         front = queues.front
         dc = queues.dc
-        route = route_greedily(self.cluster, front, dc)
+        route = route_greedily(
+            self.cluster, front, dc, capacities=state.capacities(self.cluster)
+        )
         h_upper = service_upper_bounds(self.cluster, state, dc)
         problem = SlotServiceProblem(
             cluster=self.cluster,

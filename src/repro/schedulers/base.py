@@ -54,13 +54,61 @@ class Scheduler(ABC):
 
     def __init__(self, cluster: Cluster) -> None:
         self.cluster = cluster
+        self._last_good_state: tuple | None = None
 
     @abstractmethod
     def decide(self, t: int, state: ClusterState, queues: QueueNetwork) -> Action:
         """Return the action ``z(t)`` for slot *t*."""
 
     def reset(self) -> None:
-        """Clear any internal state before a fresh simulation run."""
+        """Clear any internal state before a fresh simulation run.
+
+        Subclasses that override this must call ``super().reset()`` so
+        the degraded-mode memory of :meth:`prepare_state` is cleared
+        too.
+        """
+        self._last_good_state = None
+
+    # ------------------------------------------------------------------
+    # Degraded mode: last-known-good substitution for missing signals
+    # ------------------------------------------------------------------
+    def prepare_state(self, state: ClusterState) -> ClusterState:
+        """Fill missing (NaN) signals with last-known-good values.
+
+        Under fault injection the observed state may carry missing
+        entries — a stale price feed, a partitioned site (see
+        :mod:`repro.faults`).  Shipped schedulers call this at the top
+        of :meth:`decide`; with a fully observed state it stores the
+        snapshot and returns it *unchanged* (same object), so the
+        fault-free path is untouched.
+
+        Substitution is entry-wise: each missing entry takes the most
+        recent cleanly observed value for that entry.  Before any clean
+        observation exists the fallback is fail-safe — zero availability
+        (schedule nothing there) and the largest currently visible
+        price (assume the dark site is expensive).
+        """
+        availability = state.availability
+        prices = state.prices
+        miss_a = np.isnan(availability)
+        miss_p = np.isnan(prices)
+        if not (miss_a.any() or miss_p.any()):
+            self._last_good_state = (availability, prices)
+            return state
+        last = getattr(self, "_last_good_state", None)
+        if last is None:
+            finite = prices[~miss_p]
+            fallback_price = float(finite.max()) if finite.size else 1.0
+            base_a = np.zeros_like(availability)
+            base_p = np.full_like(prices, fallback_price)
+        else:
+            base_a, base_p = last
+        filled_a = np.where(miss_a, base_a, availability)
+        filled_p = np.where(miss_p, base_p, prices)
+        # Remember the filled view so a longer blackout keeps the same
+        # substitution rather than decaying to the fail-safe defaults.
+        self._last_good_state = (filled_a, filled_p)
+        return ClusterState(filled_a, filled_p)
 
 
 def route_greedily(
@@ -68,6 +116,7 @@ def route_greedily(
     front: np.ndarray,
     dc: np.ndarray,
     prefer: np.ndarray | None = None,
+    capacities: np.ndarray | None = None,
 ) -> np.ndarray:
     """Route every queued job to eligible sites, fewest-backlog first.
 
@@ -76,6 +125,11 @@ def route_greedily(
     assigned (integrally) to sites ``i in D_j`` in increasing order of
     *prefer* (default: current site backlog ``q_ij``), each site taking
     at most ``r_ij^max``.
+
+    When *capacities* (the observed per-site work capacities) is given,
+    sites with zero capacity are skipped entirely — the degraded-mode
+    rule that keeps work out of dark or partitioned data centers where
+    it could only sit (or be evicted) until the fault clears.
 
     Returns the ``(N, J)`` routing matrix.
     """
@@ -88,6 +142,8 @@ def route_greedily(
         if budget <= 0:
             continue
         eligible = sorted(cluster.job_types[j].eligible_dcs, key=lambda i: keys[i, j])
+        if capacities is not None:
+            eligible = [i for i in eligible if capacities[i] > 0.0]
         for i in eligible:
             take = min(max_route[i, j], budget)
             take = float(np.floor(take + 1e-9))

@@ -25,7 +25,6 @@ For ``beta = 0`` each frame is a linear program (HiGHS); for
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 import numpy as np
 from scipy.optimize import linprog, minimize

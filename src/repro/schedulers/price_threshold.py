@@ -34,9 +34,12 @@ class PriceThresholdScheduler(Scheduler):
         self.name = f"PriceThreshold({threshold:g})"
 
     def decide(self, t: int, state: ClusterState, queues: QueueNetwork) -> Action:
+        state = self.prepare_state(state)
         front = queues.front
         dc = queues.dc
-        route = route_greedily(self.cluster, front, dc)
+        route = route_greedily(
+            self.cluster, front, dc, capacities=state.capacities(self.cluster)
+        )
         h_upper = service_upper_bounds(self.cluster, state, dc)
         cheap = state.prices <= self.threshold
         h_upper = h_upper * cheap[:, np.newaxis]

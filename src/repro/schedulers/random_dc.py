@@ -31,9 +31,13 @@ class RandomRoutingScheduler(Scheduler):
         self.name = "RandomRouting"
 
     def reset(self) -> None:
+        super().reset()
         self._rng = np.random.default_rng(self._seed)
 
     def decide(self, t: int, state: ClusterState, queues: QueueNetwork) -> Action:
+        # Degraded-mode substitution only; placement stays deliberately
+        # blind to capacity (that is what this baseline isolates).
+        state = self.prepare_state(state)
         front = queues.front
         dc = queues.dc
         cluster = self.cluster

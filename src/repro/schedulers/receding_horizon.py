@@ -92,6 +92,7 @@ class RecedingHorizonScheduler(Scheduler):
 
     # ------------------------------------------------------------------
     def reset(self) -> None:
+        super().reset()
         self._plan = None
         self._plan_offset = 0
         self._price_history.clear()
@@ -110,6 +111,7 @@ class RecedingHorizonScheduler(Scheduler):
 
     # ------------------------------------------------------------------
     def decide(self, t: int, state: ClusterState, queues: QueueNetwork) -> Action:
+        state = self.prepare_state(state)
         self._price_history.append(np.array(state.prices))
         self._avail_history.append(np.array(state.availability))
 
@@ -122,7 +124,9 @@ class RecedingHorizonScheduler(Scheduler):
 
         front = queues.front
         dc = queues.dc
-        route = route_greedily(self.cluster, front, dc)
+        route = route_greedily(
+            self.cluster, front, dc, capacities=state.capacities(self.cluster)
+        )
         h_upper = service_upper_bounds(self.cluster, state, dc)
         h = np.minimum(planned, h_upper)
         # Clip the plan to today's actual capacity.

@@ -30,9 +30,11 @@ class RoundRobinScheduler(Scheduler):
         self.name = "RoundRobin"
 
     def reset(self) -> None:
+        super().reset()
         self._cursor[:] = 0
 
     def decide(self, t: int, state: ClusterState, queues: QueueNetwork) -> Action:
+        state = self.prepare_state(state)
         front = queues.front
         dc = queues.dc
         cluster = self.cluster

@@ -67,14 +67,18 @@ class TroughFillingScheduler(Scheduler):
         self.name = f"TroughFilling(q={quantile:g})"
 
     def reset(self) -> None:
+        super().reset()
         for hist in self._history:
             hist.clear()
 
     def decide(self, t: int, state: ClusterState, queues: QueueNetwork) -> Action:
+        state = self.prepare_state(state)
         cluster = self.cluster
         front = queues.front
         dc = queues.dc
-        route = route_greedily(cluster, front, dc)
+        route = route_greedily(
+            cluster, front, dc, capacities=state.capacities(cluster)
+        )
 
         serve_site = np.zeros(cluster.num_datacenters, dtype=bool)
         backlog_work = dc @ cluster.demands

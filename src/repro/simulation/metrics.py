@@ -37,6 +37,10 @@ class SimulationSummary:
     total_served_jobs: float
     total_arrived_jobs: float
     total_dropped_jobs: float = 0.0
+    #: Jobs evicted from failed data centers (fault injection only).
+    total_evicted_jobs: float = 0.0
+    #: Evicted jobs re-admitted to the central queues so far.
+    total_requeued_jobs: float = 0.0
 
     def as_dict(self) -> dict:
         """Plain-dict view (for tabular experiment output)."""
@@ -54,6 +58,8 @@ class SimulationSummary:
             "total_served_jobs": self.total_served_jobs,
             "total_arrived_jobs": self.total_arrived_jobs,
             "total_dropped_jobs": self.total_dropped_jobs,
+            "total_evicted_jobs": self.total_evicted_jobs,
+            "total_requeued_jobs": self.total_requeued_jobs,
         }
 
 
@@ -156,6 +162,8 @@ class MetricsCollector:
         queues: QueueNetwork,
         arrived: float,
         dropped: float = 0.0,
+        evicted: float = 0.0,
+        requeued: float = 0.0,
     ) -> SimulationSummary:
         """Aggregate everything into a :class:`SimulationSummary`."""
         stats = queues.stats
@@ -178,4 +186,6 @@ class MetricsCollector:
             total_served_jobs=float(np.sum(self.served_jobs)),
             total_arrived_jobs=float(arrived),
             total_dropped_jobs=float(dropped),
+            total_evicted_jobs=float(evicted),
+            total_requeued_jobs=float(requeued),
         )

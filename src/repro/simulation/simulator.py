@@ -60,6 +60,15 @@ class Simulator:
     observers:
         Optional callables ``(t, state, action, queues)`` invoked after
         each slot's dynamics (see :mod:`repro.simulation.observers`).
+    injector:
+        Optional :class:`~repro.faults.injector.FaultInjector`.  Each
+        slot the injector may perturb the ground-truth state (capacity
+        faults), mask what the scheduler observes (signal faults),
+        veto commands to unreachable sites, and re-admit work evicted
+        from failed sites through the eq. (12) arrival path.  With an
+        empty fault schedule every hook passes its inputs through
+        unchanged, so the run is bit-identical to one without the
+        injector.
     """
 
     def __init__(
@@ -71,6 +80,7 @@ class Simulator:
         enforce_physical: bool = True,
         admission=None,
         observers=None,
+        injector=None,
     ) -> None:
         self.scenario = scenario
         self.scheduler = scheduler
@@ -79,6 +89,7 @@ class Simulator:
         self.enforce_physical = bool(enforce_physical)
         self.admission = admission
         self.observers = list(observers) if observers is not None else []
+        self.injector = injector
 
     def run(self, horizon: int | None = None) -> SimulationResult:
         """Simulate *horizon* slots (default: the whole scenario)."""
@@ -95,12 +106,27 @@ class Simulator:
         self.scheduler.reset()
         if self.admission is not None:
             self.admission.reset()
+        injector = self.injector
+        if injector is not None:
+            injector.reset()
 
         dropped = 0.0
         admitted_total = 0.0
         for t in range(horizon):
             state = scenario.state_at(t)
-            action = self.scheduler.decide(t, state, queues)
+            requeued = None
+            if injector is not None:
+                # Outage-onset evictions happen before the scheduler
+                # looks at the queues; capacity faults apply to the
+                # ground truth, signal faults only to what is observed.
+                requeued = injector.begin_slot(t, queues)
+                state = injector.true_state(t, state)
+                observed = injector.observed_state(t, state)
+            else:
+                observed = state
+            action = self.scheduler.decide(t, observed, queues)
+            if injector is not None:
+                action = injector.filter_action(t, action, state)
             if self.enforce_physical:
                 action = queues.clip_to_content(action)
             if self.validate:
@@ -111,6 +137,11 @@ class Simulator:
                 dropped += float(np.sum(arrivals - admitted))
                 arrivals = admitted
             admitted_total += float(np.sum(arrivals))
+            if requeued is not None:
+                # Re-admitted work joins through the same eq. (12)
+                # arrival path but was already counted on first arrival,
+                # so it bypasses admission and the arrived total.
+                arrivals = arrivals + requeued
             outcome = queues.step(action, arrivals, t)
             for observer in self.observers:
                 observer(t, state, action, queues)
@@ -125,7 +156,12 @@ class Simulator:
             )
 
         summary = metrics.summary(
-            self.scheduler.name, queues, arrived=admitted_total, dropped=dropped
+            self.scheduler.name,
+            queues,
+            arrived=admitted_total,
+            dropped=dropped,
+            evicted=injector.evicted_jobs if injector is not None else 0.0,
+            requeued=injector.requeued_jobs if injector is not None else 0.0,
         )
         return SimulationResult(summary=summary, metrics=metrics, queues=queues)
 

@@ -15,14 +15,14 @@ from repro.workloads.arrivals import (
     WeeklyRate,
     sample_bounded_poisson,
 )
-from repro.workloads.availability import AvailabilityModel
+from repro.workloads.availability import AvailabilityModel, apply_capacity_faults
 from repro.workloads.calibration import (
     ProvisioningReport,
     calibrate_workload,
     provisioning_report,
 )
 from repro.workloads.cosmos import CosmosWorkload
-from repro.workloads.prices import PriceModel
+from repro.workloads.prices import PriceModel, apply_price_faults
 from repro.workloads.replay import (
     load_scenario_csv,
     read_matrix_csv,
@@ -42,6 +42,8 @@ __all__ = [
     "PriceModel",
     "RateProfile",
     "WeeklyRate",
+    "apply_capacity_faults",
+    "apply_price_faults",
     "calibrate_workload",
     "load_scenario_csv",
     "provisioning_report",

@@ -18,7 +18,42 @@ import numpy as np
 from repro._validation import require_in_range, require_non_negative
 from repro.model.cluster import Cluster
 
-__all__ = ["AvailabilityModel"]
+__all__ = ["AvailabilityModel", "apply_capacity_faults"]
+
+
+def apply_capacity_faults(availability: np.ndarray, events) -> np.ndarray:
+    """Apply capacity faults to a ``(T, N, K)`` availability trace.
+
+    *events* is any iterable of :class:`~repro.faults.events.FaultEvent`
+    (duck-typed on ``kind`` / ``dc`` / ``start`` / ``end`` /
+    ``capacity_factor``); only capacity kinds (``outage`` /
+    ``capacity_loss``) have an effect.  Returns a new array — the
+    ground-truth availability a faulted scenario would show — leaving
+    the input untouched.  Overlapping faults on one site combine by
+    taking the most severe factor.
+    """
+    availability = np.asarray(availability, dtype=np.float64)
+    if availability.ndim != 3:
+        raise ValueError(
+            f"availability must be a (T, N, K) trace, got ndim={availability.ndim}"
+        )
+    out = availability.copy()
+    horizon, n, _ = out.shape
+    for event in events:
+        factor = event.capacity_factor
+        if factor >= 1.0:
+            continue
+        if not 0 <= event.dc < n:
+            raise ValueError(f"event targets data center {event.dc}, trace has {n}")
+        lo = min(max(event.start, 0), horizon)
+        hi = min(event.end, horizon)
+        if lo < hi:
+            np.minimum(
+                out[lo:hi, event.dc, :],
+                availability[lo:hi, event.dc, :] * factor,
+                out=out[lo:hi, event.dc, :],
+            )
+    return out
 
 
 @dataclass(frozen=True)

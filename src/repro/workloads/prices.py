@@ -25,7 +25,36 @@ import numpy as np
 
 from repro._validation import as_float_array, require_in_range, require_non_negative
 
-__all__ = ["PriceModel"]
+__all__ = ["PriceModel", "apply_price_faults"]
+
+
+def apply_price_faults(prices: np.ndarray, events) -> np.ndarray:
+    """Freeze a ``(T, N)`` price trace during signal-fault windows.
+
+    *events* is any iterable of :class:`~repro.faults.events.FaultEvent`
+    (duck-typed on ``kind`` / ``dc`` / ``start`` / ``end``); only signal
+    kinds (``stale_price`` / ``partition``) have an effect.  During each
+    window the affected site's price is held at its last pre-fault
+    value — the *observed* trace of a consumer applying last-known-good
+    substitution, useful for offline analysis of how far a stale feed
+    drifts from the truth.  A fault starting at slot 0 has no prior
+    value and freezes the slot-0 price.  Returns a new array.
+    """
+    prices = np.asarray(prices, dtype=np.float64)
+    if prices.ndim != 2:
+        raise ValueError(f"prices must be a (T, N) trace, got ndim={prices.ndim}")
+    out = prices.copy()
+    horizon, n = out.shape
+    for event in events:
+        if event.kind not in ("stale_price", "partition"):
+            continue
+        if not 0 <= event.dc < n:
+            raise ValueError(f"event targets data center {event.dc}, trace has {n}")
+        lo = min(max(event.start, 0), horizon)
+        hi = min(event.end, horizon)
+        if lo < hi:
+            out[lo:hi, event.dc] = out[max(lo - 1, 0), event.dc]
+    return out
 
 
 @dataclass(frozen=True)

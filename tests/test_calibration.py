@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.slackness import check_slackness
 from repro.scenarios import paper_scenario, small_cluster
 from repro.simulation.trace import Scenario
 from repro.workloads import AvailabilityModel, calibrate_workload, provisioning_report

@@ -1,6 +1,5 @@
 """Tests for the temporal/spatial saving decomposition."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.decomposition import decompose_energy_saving

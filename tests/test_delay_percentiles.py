@@ -1,6 +1,5 @@
 """Tests for the delay-percentile histograms in DelayStats."""
 
-import numpy as np
 import pytest
 
 from repro.core.grefar import GreFarScheduler

@@ -8,7 +8,7 @@ from repro.model.action import Action
 from repro.model.queues import QueueNetwork
 from repro.model.state import ClusterState
 from repro.optimize import SlotServiceProblem, solve_greedy
-from repro.scenarios import small_cluster, small_scenario
+from repro.scenarios import small_scenario
 from repro.schedulers import TroughFillingScheduler
 from repro.schedulers.lookahead import LookaheadPolicy
 from repro.simulation.metrics import MetricsCollector

@@ -14,7 +14,6 @@ from repro.model.cluster import Cluster
 from repro.model.datacenter import DataCenter
 from repro.model.job import Account, JobType
 from repro.model.server import ServerClass
-from repro.scenarios import small_cluster
 from repro.schedulers import AlwaysScheduler, TroughFillingScheduler
 from repro.simulation.simulator import Simulator
 from repro.simulation.trace import Scenario

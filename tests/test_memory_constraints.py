@@ -8,7 +8,6 @@ from repro.model.action import Action
 from repro.model.cluster import Cluster
 from repro.model.datacenter import DataCenter
 from repro.model.job import Account, JobType
-from repro.model.queues import QueueNetwork
 from repro.model.server import ServerClass
 from repro.model.state import ClusterState
 from repro.optimize import SlotServiceProblem, solve_lp, solve_qp

@@ -45,6 +45,29 @@ class TestSnapshotRecorder:
     def test_rejects_bad_period(self):
         with pytest.raises(ValueError):
             SnapshotRecorder(every=0)
+        with pytest.raises(ValueError):
+            SnapshotRecorder(every=-3)
+
+    def test_period_longer_than_run_keeps_only_slot_zero(self, scenario):
+        recorder = SnapshotRecorder(every=50)
+        Simulator(
+            scenario,
+            GreFarScheduler(scenario.cluster, v=5.0),
+            observers=[recorder],
+        ).run(20)
+        assert recorder.slots == [0]
+        assert len(recorder.front_snapshots) == 1
+
+    def test_snapshots_are_independent_copies(self, scenario):
+        recorder = SnapshotRecorder()
+        Simulator(
+            scenario,
+            GreFarScheduler(scenario.cluster, v=5.0),
+            observers=[recorder],
+        ).run(10)
+        first = recorder.front_snapshots[0].copy()
+        recorder.front_snapshots[1][:] = -1.0  # mutate a later snapshot
+        np.testing.assert_array_equal(recorder.front_snapshots[0], first)
 
 
 class TestPeakTracker:
@@ -59,6 +82,29 @@ class TestPeakTracker:
         np.testing.assert_allclose(tracker.peak_work, work.max(axis=0))
         assert np.all(tracker.peak_power >= 0)
         assert np.all(tracker.peak_queue >= 0)
+
+    def test_peak_queue_matches_snapshot_series(self, scenario):
+        # With a per-slot recorder alongside, the tracker's peaks must
+        # equal the max over the recorded snapshots.
+        recorder = SnapshotRecorder()
+        tracker = PeakTracker()
+        Simulator(
+            scenario,
+            GreFarScheduler(scenario.cluster, v=5.0),
+            observers=[recorder, tracker],
+        ).run(25)
+        per_site = np.stack([snap.sum(axis=1) for snap in recorder.dc_snapshots])
+        np.testing.assert_allclose(tracker.peak_queue, per_site.max(axis=0))
+
+    def test_single_slot_run_seeds_peaks(self, scenario):
+        tracker = PeakTracker()
+        Simulator(
+            scenario,
+            GreFarScheduler(scenario.cluster, v=5.0),
+            observers=[tracker],
+        ).run(1)
+        assert tracker.peak_work.shape == (2,)
+        assert np.all(tracker.peak_power >= 0)
 
     def test_multiple_observers_compose(self, scenario):
         recorder = SnapshotRecorder(every=3)

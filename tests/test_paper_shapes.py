@@ -6,7 +6,6 @@ headline claims.  Horizons are short, so tolerances are loose — the
 *direction* of every effect is what must never regress.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.grefar import GreFarScheduler

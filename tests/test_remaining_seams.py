@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.grefar import GreFarScheduler
 from repro.model.action import Action
-from repro.model.queues import QueueNetwork
 from repro.model.state import ClusterState
 from repro.optimize.capacity import build_supply_curves
 from repro.schedulers.base import route_greedily, service_upper_bounds

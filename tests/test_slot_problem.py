@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.fairness import QuadraticFairness
 from repro.optimize.slot_problem import SlotServiceProblem
 
 
