@@ -15,6 +15,7 @@ import numpy as np
 __all__ = [
     "require_positive",
     "require_non_negative",
+    "require_at_least",
     "require_in_range",
     "require_integer",
     "require_array_shape",
@@ -35,6 +36,13 @@ def require_non_negative(value: float, name: str) -> float:
     """Return *value* if ``>= 0`` and finite, else raise ``ValueError``."""
     if not np.isfinite(value) or value < 0:
         raise ValueError(f"{name} must be a finite non-negative number, got {value!r}")
+    return float(value)
+
+
+def require_at_least(value: float, minimum: float, name: str) -> float:
+    """Return *value* if finite and ``>= minimum``, else raise ``ValueError``."""
+    if not np.isfinite(value) or value < minimum:
+        raise ValueError(f"{name} must be a finite number >= {minimum}, got {value!r}")
     return float(value)
 
 

@@ -8,6 +8,7 @@ Usage (also available as ``python -m repro.cli``)::
     repro sweep-v --values 0.1,2.5,7.5,20     # the Fig. 2 sweep
     repro experiment fig2 --horizon 2000      # regenerate a paper figure
     repro resilience --dc 1 --start 150 --duration 60   # outage drill
+    repro lint src/repro --format json        # project static checker
 """
 
 from __future__ import annotations
@@ -236,6 +237,17 @@ def _cmd_resilience(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    """Run the project-specific static checker (GF001-GF005)."""
+    from repro.tools.staticcheck.cli import run as staticcheck_run
+    from repro.tools.staticcheck.reporters import render_rule_listing
+
+    if args.list_rules:
+        print(render_rule_listing())
+        return 0
+    return staticcheck_run(args.paths, fmt=args.format, select=args.select)
+
+
 def _cmd_experiment(args) -> int:
     module_path = _EXPERIMENTS.get(args.name)
     if module_path is None:
@@ -313,6 +325,16 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--horizon", type=int, default=None)
     exp.add_argument("--seed", type=int, default=0)
 
+    lint = sub.add_parser(
+        "lint", help="project static checker (determinism, queue hygiene, ...)"
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src/repro"], help="files/directories to scan"
+    )
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--select", default=None, help="comma-separated rule ids")
+    lint.add_argument("--list-rules", action="store_true")
+
     return parser
 
 
@@ -323,6 +345,7 @@ _COMMANDS = {
     "sweep-v": _cmd_sweep_v,
     "resilience": _cmd_resilience,
     "experiment": _cmd_experiment,
+    "lint": _cmd_lint,
 }
 
 

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro._validation import require_non_negative
 from repro.fairness.base import FairnessFunction
 from repro.fairness.quadratic import QuadraticFairness
 from repro.model.action import Action
@@ -95,17 +96,13 @@ class GreFarScheduler(Scheduler):
         pricing=None,
     ) -> None:
         super().__init__(cluster)
-        if v < 0:
-            raise ValueError(f"v must be non-negative, got {v}")
-        if beta < 0:
-            raise ValueError(f"beta must be non-negative, got {beta}")
         if solver != "auto" and solver not in _SOLVERS:
             raise ValueError(
                 f"unknown solver {solver!r}; choose from "
                 f"{['auto', *sorted(_SOLVERS)]}"
             )
-        self.v = float(v)
-        self.beta = float(beta)
+        self.v = require_non_negative(v, "v")
+        self.beta = require_non_negative(beta, "beta")
         self.fairness = fairness if fairness is not None else QuadraticFairness()
         self.solver = solver
         self.physical = bool(physical)

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro._validation import require_non_negative
 from repro.fairness.base import FairnessFunction
 from repro.fairness.quadratic import QuadraticFairness
 from repro.model.action import Action
@@ -62,8 +63,7 @@ class CostModel:
     include_idle_power: bool = False
 
     def __post_init__(self) -> None:
-        if self.beta < 0:
-            raise ValueError(f"beta must be non-negative, got {self.beta}")
+        require_non_negative(self.beta, "beta")
 
     def idle_energy_cost(self, cluster: Cluster, state: ClusterState) -> float:
         """Cost of the idle draw of every available server this slot."""

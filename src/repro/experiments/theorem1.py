@@ -23,7 +23,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
 
+from repro._contracts import queue_bound_observer
 from repro.analysis.tables import format_table
 from repro.core.bounds import TheoremConstants
 from repro.core.grefar import GreFarScheduler
@@ -99,10 +101,16 @@ def run(
     queue_bounds = []
     cost_bounds = []
     for v in v_values:
-        result = Simulator(scenario, GreFarScheduler(cluster, v=v, beta=0.0)).run()
+        bound = constants.queue_bound(v, delta)
+        # With REPRO_CONTRACTS=1 the Theorem 1a bound is asserted live
+        # at every slot instead of only on the run's final maximum.
+        observers = [queue_bound_observer(bound)] if np.isfinite(bound) else []
+        result = Simulator(
+            scenario, GreFarScheduler(cluster, v=v, beta=0.0), observers=observers
+        ).run()
         grefar_costs.append(result.summary.avg_combined_cost)
         max_queues.append(result.summary.max_queue_length)
-        queue_bounds.append(constants.queue_bound(v, delta))
+        queue_bounds.append(bound)
         cost_bounds.append(lookahead_cost + constants.cost_gap(v, lookahead))
 
     queue_ok = all(q <= b + 1e-6 for q, b in zip(max_queues, queue_bounds))

@@ -39,7 +39,12 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
-from repro._validation import require_in_range, require_integer
+from repro._validation import (
+    require_at_least,
+    require_in_range,
+    require_integer,
+    require_positive,
+)
 from repro.model.cluster import Cluster
 
 __all__ = ["FAULT_KINDS", "FaultEvent", "FaultSchedule", "RandomFaultProcess"]
@@ -88,9 +93,8 @@ class FaultEvent:
         require_integer(self.dc, "dc", minimum=0)
         require_integer(self.start, "start", minimum=0)
         require_integer(self.duration, "duration", minimum=1)
+        require_positive(self.severity, "severity")
         require_in_range(self.severity, 0.0, 1.0, "severity")
-        if self.severity <= 0.0:
-            raise ValueError(f"severity must be positive, got {self.severity}")
 
     @property
     def end(self) -> int:
@@ -231,10 +235,7 @@ class RandomFaultProcess:
             "partition_rate",
         ):
             require_in_range(getattr(self, name), 0.0, 1.0, name)
-        if self.mean_duration < 1.0:
-            raise ValueError(
-                f"mean_duration must be >= 1 slot, got {self.mean_duration}"
-            )
+        require_at_least(self.mean_duration, 1.0, "mean_duration")
         low, high = self.severity_range
         require_in_range(low, 0.0, 1.0, "severity_range low")
         require_in_range(high, 0.0, 1.0, "severity_range high")

@@ -35,7 +35,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro._validation import require_integer, require_positive
+from repro._validation import require_at_least, require_integer
 from repro.faults.events import FaultSchedule
 from repro.model.action import Action
 from repro.model.cluster import Cluster
@@ -63,9 +63,7 @@ class RequeuePolicy:
 
     def __post_init__(self) -> None:
         require_integer(self.base_delay, "base_delay", minimum=1)
-        require_positive(self.factor, "factor")
-        if self.factor < 1.0:
-            raise ValueError(f"factor must be >= 1, got {self.factor}")
+        require_at_least(self.factor, 1.0, "factor")
         require_integer(self.tranches, "tranches", minimum=1)
 
     def offsets(self) -> tuple:

@@ -16,7 +16,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import FrozenSet, Iterable
 
-from repro._validation import require_non_negative, require_positive
+from repro._validation import (
+    require_in_range,
+    require_integer,
+    require_non_negative,
+    require_positive,
+)
 
 __all__ = ["Account", "JobType", "JobBatch"]
 
@@ -43,9 +48,7 @@ class Account:
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("Account.name must be a non-empty string")
-        require_non_negative(self.fair_share, "fair_share")
-        if self.fair_share > 1.0:
-            raise ValueError(f"fair_share must be <= 1, got {self.fair_share}")
+        require_in_range(self.fair_share, 0.0, 1.0, "fair_share")
 
 
 @dataclass(frozen=True)
@@ -114,12 +117,9 @@ class JobType:
             raise ValueError("eligible_dcs must be non-empty")
         if any(i < 0 for i in dcs):
             raise ValueError("eligible_dcs indices must be non-negative")
-        if account < 0:
-            raise ValueError(f"account index must be non-negative, got {account}")
-        if max_arrivals <= 0:
-            raise ValueError(f"max_arrivals must be positive, got {max_arrivals}")
-        if max_route <= 0:
-            raise ValueError(f"max_route must be positive, got {max_route}")
+        require_integer(account, "account", minimum=0)
+        require_integer(max_arrivals, "max_arrivals", minimum=1)
+        require_integer(max_route, "max_route", minimum=1)
         require_positive(max_service, "max_service")
         if max_parallelism is not None:
             require_positive(max_parallelism, "max_parallelism")
@@ -158,8 +158,6 @@ class JobBatch:
     arrival_slot: int
 
     def __post_init__(self) -> None:
-        if self.job_type < 0:
-            raise ValueError("job_type index must be non-negative")
+        require_integer(self.job_type, "job_type", minimum=0)
         require_non_negative(self.count, "count")
-        if self.arrival_slot < 0:
-            raise ValueError("arrival_slot must be non-negative")
+        require_integer(self.arrival_slot, "arrival_slot", minimum=0)

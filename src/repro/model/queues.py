@@ -33,6 +33,7 @@ from typing import Deque, Dict, List, Tuple
 
 import numpy as np
 
+from repro._contracts import checked_step
 from repro.model.action import Action
 from repro.model.cluster import Cluster
 
@@ -205,6 +206,26 @@ class QueueNetwork:
         """Accumulated delay statistics (live object)."""
         return self._stats
 
+    def front_ledger_totals(self) -> np.ndarray:
+        """Jobs held by the central FIFO ledgers (length ``J``).
+
+        Equals :attr:`front` for physical schedulers; non-physical
+        actions can inflate the scalar queues with phantom jobs the
+        ledgers never contain.  Used by :mod:`repro._contracts` to check
+        the two layers stay in lock-step.
+        """
+        totals = np.zeros_like(self._front)
+        for jj, ledger in enumerate(self._front_ledger):
+            totals[jj] = sum(batch[1] for batch in ledger)
+        return totals
+
+    def dc_ledger_totals(self) -> np.ndarray:
+        """Jobs held by the per-site FIFO ledgers (``(N, J)``)."""
+        totals = np.zeros_like(self._dc)
+        for (i, jj), ledger in self._dc_ledger.items():
+            totals[i, jj] = sum(batch[1] for batch in ledger)
+        return totals
+
     def total_backlog(self) -> float:
         """Sum of all queue lengths (jobs)."""
         return float(self._front.sum() + self._dc.sum())
@@ -276,8 +297,13 @@ class QueueNetwork:
         self._dc[dc] = 0.0
         return counts
 
+    @checked_step
     def step(self, action: Action, arrivals: np.ndarray, t: int) -> dict:
         """Advance one slot: apply service, routing, then arrivals.
+
+        With ``REPRO_CONTRACTS=1`` the post-state is verified against
+        the queue invariants (non-negativity, ledger/scalar lock-step)
+        after every call; see :mod:`repro._contracts`.
 
         Parameters
         ----------

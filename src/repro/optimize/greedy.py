@@ -34,11 +34,11 @@ _EPS = 1e-12
 def solve_greedy(problem: SlotServiceProblem) -> np.ndarray:
     """Exactly minimize the beta = 0 slot objective; return ``h``.
 
-    Raises ``ValueError`` if the problem carries ``beta > 0`` — the
-    greedy exchange argument needs a linear objective; use the QP
-    backend for fairness-aware slots.
+    Raises ``ValueError`` if the problem carries a material fairness
+    pull (``has_fairness``) — the greedy exchange argument needs a
+    linear objective; use the QP backend for fairness-aware slots.
     """
-    if problem.beta > 0:
+    if problem.has_fairness:
         raise ValueError(
             "solve_greedy is exact only for beta = 0; use solve_qp for beta > 0"
         )

@@ -32,7 +32,7 @@ def solve_qp(
 
     Falls back to the exact greedy solution when ``beta == 0``.
     """
-    if problem.beta == 0:
+    if not problem.has_fairness:
         return solve_greedy(problem)
 
     cluster = problem.cluster

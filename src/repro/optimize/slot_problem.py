@@ -22,6 +22,7 @@ from typing import List
 
 import numpy as np
 
+from repro._validation import require_non_negative
 from repro.fairness.base import FairnessFunction
 from repro.fairness.quadratic import QuadraticFairness
 from repro.model.action import Action
@@ -30,9 +31,13 @@ from repro.model.pricing import LinearPricing, PricingModel
 from repro.model.state import ClusterState
 from repro.optimize.capacity import SupplyCurve, build_supply_curves
 
-__all__ = ["SlotServiceProblem"]
+__all__ = ["BETA_ZERO_TOL", "SlotServiceProblem"]
 
 _EPS = 1e-9
+
+#: Fairness pulls at or below this are indistinguishable from beta = 0 in
+#: the float objective; solvers treat them as zero (see ``has_fairness``).
+BETA_ZERO_TOL = 1e-12
 
 
 @dataclass
@@ -83,10 +88,8 @@ class SlotServiceProblem:
             raise ValueError(
                 f"h_upper must have shape {(n, j)}, got {self.h_upper.shape}"
             )
-        if self.v < 0:
-            raise ValueError(f"v must be non-negative, got {self.v}")
-        if self.beta < 0:
-            raise ValueError(f"beta must be non-negative, got {self.beta}")
+        require_non_negative(self.v, "v")
+        require_non_negative(self.beta, "beta")
         elig = self.cluster.eligibility_matrix()
         self.h_upper = np.where(elig, np.clip(self.h_upper, 0.0, None), 0.0)
         self._curves: List[SupplyCurve] = build_supply_curves(self.cluster, self.state)
@@ -99,6 +102,16 @@ class SlotServiceProblem:
     def supply_curves(self) -> List[SupplyCurve]:
         """Per-site minimum-power supply curves for this slot."""
         return self._curves
+
+    @property
+    def has_fairness(self) -> bool:
+        """True when the fairness pull materially affects the objective.
+
+        Betas below :data:`BETA_ZERO_TOL` are treated as zero so the
+        exact greedy backend remains usable — at that magnitude the
+        fairness term is below float noise in the objective (14).
+        """
+        return self.beta > BETA_ZERO_TOL
 
     @property
     def total_resource(self) -> float:

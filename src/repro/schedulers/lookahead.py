@@ -24,11 +24,13 @@ For ``beta = 0`` each frame is a linear program (HiGHS); for
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
 from scipy.optimize import linprog, minimize
 
+from repro._validation import require_integer, require_non_negative
 from repro.fairness.base import FairnessFunction
 from repro.fairness.quadratic import QuadraticFairness
 from repro.model.cluster import Cluster
@@ -88,14 +90,12 @@ class LookaheadPolicy:
         self.availability = np.asarray(availability, dtype=np.float64)
         self.prices = np.asarray(prices, dtype=np.float64)
         horizon = self.arrivals.shape[0]
-        if lookahead < 1:
-            raise ValueError(f"lookahead must be >= 1, got {lookahead}")
+        require_integer(lookahead, "lookahead", minimum=1)
         if horizon % lookahead != 0:
             raise ValueError(
                 f"horizon {horizon} must be a multiple of the lookahead {lookahead}"
             )
-        if beta < 0:
-            raise ValueError(f"beta must be non-negative, got {beta}")
+        require_non_negative(beta, "beta")
         n, j_count = cluster.num_datacenters, cluster.num_job_types
         k_count = cluster.num_server_classes
         if self.arrivals.shape != (horizon, j_count):
@@ -138,7 +138,7 @@ class LookaheadPolicy:
 
     # ------------------------------------------------------------------
     def _solve_frame(self, start: int, stop: int) -> tuple:
-        if self.beta == 0:
+        if math.isclose(self.beta, 0.0, abs_tol=1e-12):
             return self._solve_frame_lp(start, stop)
         return self._solve_frame_convex(start, stop)
 

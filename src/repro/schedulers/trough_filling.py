@@ -18,7 +18,7 @@ from collections import deque
 
 import numpy as np
 
-from repro._validation import require_in_range, require_positive
+from repro._validation import require_in_range, require_integer, require_positive
 from repro.model.action import Action
 from repro.model.cluster import Cluster
 from repro.model.queues import QueueNetwork
@@ -57,8 +57,7 @@ class TroughFillingScheduler(Scheduler):
     ) -> None:
         super().__init__(cluster)
         require_in_range(quantile, 0.0, 1.0, "quantile")
-        if window < 2:
-            raise ValueError(f"window must be >= 2, got {window}")
+        require_integer(window, "window", minimum=2)
         require_positive(max_backlog_work, "max_backlog_work")
         self.quantile = float(quantile)
         self.window = int(window)

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro._contracts import contracts_enabled, verify_action_capacity
 from repro.core.objective import CostModel
 from repro.model.queues import QueueNetwork
 from repro.schedulers.base import Scheduler
@@ -131,6 +132,10 @@ class Simulator:
                 action = queues.clip_to_content(action)
             if self.validate:
                 action.validate(cluster, state)
+            elif contracts_enabled():
+                # Same checks, framed as a runtime contract (eqs. 4, 5,
+                # 11 feasibility of the applied action) — REPRO_CONTRACTS=1.
+                verify_action_capacity(cluster, state, action)
             arrivals = scenario.arrivals[t]
             if self.admission is not None:
                 admitted = self.admission.admit(t, arrivals, queues, cluster)

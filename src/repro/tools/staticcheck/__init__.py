@@ -1,0 +1,34 @@
+"""Project-specific static analysis for the GreFar reproduction.
+
+The checker parses every Python file with the stdlib :mod:`ast` module
+(no third-party dependencies) and applies a small registry of rules
+that protect the properties the paper's guarantees rest on:
+
+=======  ==============================================================
+GF001    Determinism: no unseeded or global RNG, no wall-clock reads,
+         inside the simulation-critical subpackages.
+GF002    Queue hygiene: the eq. (12)-(13) dynamics are only touched
+         through :class:`~repro.model.queues.QueueNetwork`'s API.
+GF003    Scheduler conformance: every ``Scheduler`` subclass implements
+         ``decide``, routes observations through ``prepare_state`` and
+         chains ``super().reset()``.
+GF004    Validation consistency: parameter checks go through
+         :mod:`repro._validation`, not ``assert`` or hand-rolled ifs.
+GF005    Float equality: no ``==``/``!=`` on float expressions in
+         objective/constraint code — use ``math.isclose``/``np.isclose``.
+=======  ==============================================================
+
+Findings can be suppressed per line with ``# staticcheck: ignore[GF00X]``
+(comma-separate several ids) or per file with a
+``# staticcheck: ignore-file[GF00X]`` comment.
+
+Run it as ``python -m repro.tools.staticcheck src/repro``, via the CLI
+subcommand ``repro lint``, or programmatically through
+:func:`check_paths`.  See ``docs/STATIC_ANALYSIS.md`` for the rule
+rationale and the companion runtime layer :mod:`repro._contracts`.
+"""
+
+from repro.tools.staticcheck.engine import Finding, check_file, check_paths
+from repro.tools.staticcheck.rules import RULES, Rule, rule_ids
+
+__all__ = ["Finding", "Rule", "RULES", "check_file", "check_paths", "rule_ids"]

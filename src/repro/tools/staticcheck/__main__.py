@@ -1,0 +1,8 @@
+"""``python -m repro.tools.staticcheck`` dispatches to the CLI."""
+
+import sys
+
+from repro.tools.staticcheck.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

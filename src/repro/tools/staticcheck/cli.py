@@ -1,0 +1,83 @@
+"""Command-line front end: ``python -m repro.tools.staticcheck`` / ``repro lint``.
+
+Exit codes: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.tools.staticcheck.engine import check_paths
+from repro.tools.staticcheck.reporters import (
+    render_json,
+    render_rule_listing,
+    render_text,
+)
+
+__all__ = ["build_parser", "main", "run"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.staticcheck",
+        description=(
+            "Project-specific AST lint for the GreFar reproduction "
+            "(rules GF001-GF005; see docs/STATIC_ANALYSIS.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to scan (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule registry and exit",
+    )
+    return parser
+
+
+def run(
+    paths: Sequence[str],
+    fmt: str = "text",
+    select: str | None = None,
+) -> int:
+    """Scan *paths* and print a report; return the exit code."""
+    selected = None
+    if select:
+        selected = [part for part in select.split(",") if part.strip()]
+    try:
+        findings = check_paths(paths, select=selected)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    renderer = render_json if fmt == "json" else render_text
+    print(renderer(findings))
+    return 1 if findings else 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(render_rule_listing())
+        return 0
+    return run(args.paths, fmt=args.format, select=args.select)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,162 @@
+"""Scanner core: file walking, parsing, suppression, rule dispatch.
+
+The engine is filesystem-only — it never imports the code it checks, so
+it can be pointed at broken or adversarial files (the self-test
+fixtures) safely.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Sequence, Set
+
+from repro.tools.staticcheck.rules import RULE_REGISTRY, RULES, Rule
+
+__all__ = ["Finding", "ModuleContext", "check_file", "check_paths", "iter_python_files"]
+
+_SUPPRESS_LINE = re.compile(r"#\s*staticcheck:\s*ignore\[([A-Za-z0-9_,\s]+)\]")
+_SUPPRESS_FILE = re.compile(r"#\s*staticcheck:\s*ignore-file\[([A-Za-z0-9_,\s]+)\]")
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "build", "dist"}
+
+#: Rule id used for files the parser rejects (not suppressible).
+PARSE_ERROR_ID = "GF000"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def as_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule may look at for one file."""
+
+    path: Path
+    tree: ast.AST
+    lines: List[str]
+    #: Path relative to the ``repro`` package (posix separators) when the
+    #: file lives inside it, else the bare file name.
+    module: str = ""
+    #: True when the file was anchored to the ``repro`` package.  Rules
+    #: treat unanchored files (fixtures, scratch scripts) as in scope.
+    anchored: bool = False
+    _line_suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+    _file_suppressions: Set[str] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        parts = self.path.resolve().parts
+        if "repro" in parts:
+            anchor = len(parts) - 1 - parts[::-1].index("repro")
+            rel = parts[anchor + 1 :]
+            if rel:
+                self.module = "/".join(rel)
+                self.anchored = True
+        if not self.module:
+            self.module = self.path.name
+        for lineno, text in enumerate(self.lines, start=1):
+            match = _SUPPRESS_LINE.search(text)
+            if match:
+                ids = {part.strip().upper() for part in match.group(1).split(",")}
+                self._line_suppressions[lineno] = {i for i in ids if i}
+            match = _SUPPRESS_FILE.search(text)
+            if match:
+                ids = {part.strip().upper() for part in match.group(1).split(",")}
+                self._file_suppressions |= {i for i in ids if i}
+
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        if rule_id in self._file_suppressions:
+            return True
+        return rule_id in self._line_suppressions.get(line, ())
+
+
+def _select_rules(select: Sequence[str] | None) -> List[Rule]:
+    if select is None:
+        return list(RULES)
+    chosen: List[Rule] = []
+    for rule_id in select:
+        key = rule_id.strip().upper()
+        if key not in RULE_REGISTRY:
+            raise ValueError(
+                f"unknown rule {rule_id!r}; known rules: {sorted(RULE_REGISTRY)}"
+            )
+        chosen.append(RULE_REGISTRY[key])
+    return chosen
+
+
+def check_file(path: Path | str, select: Sequence[str] | None = None) -> List[Finding]:
+    """Run the (selected) rules over one file; return sorted findings."""
+    path = Path(path)
+    source = path.read_text(encoding="utf-8")
+    display = str(path)
+    try:
+        tree = ast.parse(source, filename=display)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=display,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule=PARSE_ERROR_ID,
+                message=f"could not parse file: {exc.msg}",
+            )
+        ]
+    ctx = ModuleContext(path=path, tree=tree, lines=source.splitlines())
+    findings: List[Finding] = []
+    for rule in _select_rules(select):
+        if not rule.applies_to(ctx):
+            continue
+        for node, message in rule.check(ctx):
+            line = getattr(node, "lineno", 1)
+            col = getattr(node, "col_offset", 0)
+            if ctx.suppressed(rule.id, line):
+                continue
+            findings.append(
+                Finding(path=display, line=line, col=col, rule=rule.id, message=message)
+            )
+    return sorted(findings)
+
+
+def iter_python_files(paths: Iterable[Path | str]) -> Iterator[Path]:
+    """Yield every ``.py`` file under *paths* in deterministic order."""
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_file():
+            if entry.suffix == ".py":
+                yield entry
+            continue
+        if not entry.is_dir():
+            raise FileNotFoundError(f"no such file or directory: {entry}")
+        for candidate in sorted(entry.rglob("*.py")):
+            if not _SKIP_DIRS.intersection(candidate.parts):
+                yield candidate
+
+
+def check_paths(
+    paths: Iterable[Path | str], select: Sequence[str] | None = None
+) -> List[Finding]:
+    """Run the (selected) rules over every Python file under *paths*."""
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(check_file(path, select=select))
+    return findings

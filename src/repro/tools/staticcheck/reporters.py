@@ -1,0 +1,39 @@
+"""Finding renderers for the text and JSON output formats."""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.tools.staticcheck.engine import Finding
+from repro.tools.staticcheck.rules import RULES
+
+__all__ = ["render_text", "render_json", "render_rule_listing"]
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """One ``path:line:col: RULE message`` line per finding + a summary."""
+    if not findings:
+        return "staticcheck: no issues found"
+    lines = [finding.render() for finding in findings]
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(f"staticcheck: {len(findings)} {noun}")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Machine-readable report (used by the CI gate)."""
+    payload = {
+        "count": len(findings),
+        "findings": [finding.as_dict() for finding in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_rule_listing() -> str:
+    """Human-readable registry dump for ``--list-rules``."""
+    lines = []
+    for rule in RULES:
+        lines.append(f"{rule.id}  {rule.title}")
+        lines.append(f"       {rule.rationale}")
+    return "\n".join(lines)

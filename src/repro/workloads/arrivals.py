@@ -15,7 +15,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro._validation import require_in_range, require_non_negative, require_positive
+from repro._validation import (
+    require_in_range,
+    require_integer,
+    require_non_negative,
+    require_positive,
+)
 
 __all__ = [
     "RateProfile",
@@ -93,10 +98,7 @@ class WeeklyRate(RateProfile):
     def __post_init__(self) -> None:
         require_non_negative(self.weekday_level, "weekday_level")
         require_non_negative(self.weekend_level, "weekend_level")
-        if self.slots_per_day < 1:
-            raise ValueError(
-                f"slots_per_day must be >= 1, got {self.slots_per_day}"
-            )
+        require_integer(self.slots_per_day, "slots_per_day", minimum=1)
 
     def rates(self, horizon: int, rng: np.random.Generator) -> np.ndarray:
         t = np.arange(horizon)
@@ -172,8 +174,7 @@ class PoissonCounts:
     cap: int
 
     def __post_init__(self) -> None:
-        if self.cap <= 0:
-            raise ValueError(f"cap must be positive, got {self.cap}")
+        require_integer(self.cap, "cap", minimum=1)
 
     def generate(self, horizon: int, rng: np.random.Generator) -> np.ndarray:
         rates = self.profile.rates(horizon, rng)

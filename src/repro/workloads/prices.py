@@ -23,7 +23,12 @@ from typing import Sequence
 
 import numpy as np
 
-from repro._validation import as_float_array, require_in_range, require_non_negative
+from repro._validation import (
+    as_float_array,
+    require_in_range,
+    require_non_negative,
+    require_positive,
+)
 
 __all__ = ["PriceModel", "apply_price_faults"]
 
@@ -108,8 +113,7 @@ class PriceModel:
         require_non_negative(volatility, "volatility")
         require_in_range(mean_reversion, 1e-6, 1.0, "mean_reversion")
         require_in_range(correlation, 0.0, 0.999, "correlation")
-        if period <= 0:
-            raise ValueError(f"period must be positive, got {period}")
+        require_positive(period, "period")
         require_non_negative(floor, "floor")
         if phase_offsets is None:
             # Offset sites a few hours apart (time zones) so price dips

@@ -2,8 +2,15 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+
+# Run the whole suite with the runtime contract layer active (queue
+# invariants, action feasibility, Theorem 1 bound — see
+# repro._contracts).  An explicit REPRO_CONTRACTS=0 still disables it.
+os.environ.setdefault("REPRO_CONTRACTS", "1")
 
 from repro.model.cluster import Cluster
 from repro.model.datacenter import DataCenter

@@ -1,0 +1,30 @@
+"""GF001 self-test fixture: deliberately non-deterministic code.
+
+Never imported — parsed by the staticcheck engine only.
+"""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def unseeded_generator():
+    return np.random.default_rng()
+
+
+def global_numpy_draw():
+    return np.random.rand(3)
+
+
+def stdlib_draw():
+    return random.random()
+
+
+def wall_clock_time():
+    return time.time()
+
+
+def wall_clock_datetime():
+    return datetime.now()

@@ -1,0 +1,15 @@
+"""GF001 self-test fixture: deterministic RNG discipline (must pass)."""
+
+import numpy as np
+
+
+def seeded_generator(seed: int = 0):
+    return np.random.default_rng(seed)
+
+
+def threaded_draw(rng: np.random.Generator):
+    return rng.normal(size=3)
+
+
+def slot_time(t: int) -> int:
+    return t + 1

@@ -1,0 +1,7 @@
+"""GF002 self-test fixture: direct mutation of QueueNetwork internals."""
+
+
+def corrupt_queues(queues):
+    queues._front[0] = 99.0
+    queues._dc += 1.0
+    return len(queues._front_ledger)

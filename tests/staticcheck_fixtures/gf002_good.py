@@ -1,0 +1,9 @@
+"""GF002 self-test fixture: queue access through the public API (must pass)."""
+
+
+def inspect_queues(queues):
+    return queues.front.sum() + queues.dc.sum()
+
+
+def drain_site(queues, dc: int):
+    return queues.evict_dc(dc)

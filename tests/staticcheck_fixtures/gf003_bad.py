@@ -1,0 +1,19 @@
+"""GF003 self-test fixture: Scheduler subclasses breaking the protocol."""
+
+from repro.schedulers.base import Scheduler
+
+
+class BypassScheduler(Scheduler):
+    """decide() skips prepare_state; reset() drops super().reset()."""
+
+    def decide(self, t, state, queues):
+        return self.plan(state, queues)
+
+    def reset(self):
+        self.history = []
+
+
+class NoDecideScheduler(Scheduler):
+    """Subclasses Scheduler without overriding decide()."""
+
+    name = "no-decide"

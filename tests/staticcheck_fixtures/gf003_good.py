@@ -1,0 +1,13 @@
+"""GF003 self-test fixture: a conforming Scheduler subclass (must pass)."""
+
+from repro.schedulers.base import Scheduler
+
+
+class ConformingScheduler(Scheduler):
+    def decide(self, t, state, queues):
+        state = self.prepare_state(state)
+        return self.plan(t, state, queues)
+
+    def reset(self):
+        super().reset()
+        self.history = []

@@ -1,0 +1,10 @@
+"""GF004 self-test fixture: ad-hoc parameter validation."""
+
+
+class AdHocValidated:
+    def __init__(self, v: float, beta: float):
+        if v < 0:
+            raise ValueError(f"v must be non-negative, got {v}")
+        assert beta >= 0, "beta must be non-negative"
+        self.v = v
+        self.beta = beta

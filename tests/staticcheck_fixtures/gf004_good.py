@@ -1,0 +1,9 @@
+"""GF004 self-test fixture: validation through the shared helpers (must pass)."""
+
+from repro._validation import require_non_negative
+
+
+class HelperValidated:
+    def __init__(self, v: float, beta: float):
+        self.v = require_non_negative(v, "v")
+        self.beta = require_non_negative(beta, "beta")

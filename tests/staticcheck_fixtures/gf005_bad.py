@@ -1,0 +1,9 @@
+"""GF005 self-test fixture: exact float equality in numeric code."""
+
+
+def choose_backend(problem):
+    if problem.beta == 0:
+        return "greedy"
+    if problem.v != 0.0:
+        return "qp"
+    return "lp"

@@ -1,0 +1,11 @@
+"""GF005 self-test fixture: tolerance-based float comparison (must pass)."""
+
+import math
+
+
+def choose_backend(problem):
+    if math.isclose(problem.beta, 0.0, abs_tol=1e-12):
+        return "greedy"
+    if problem.v > 0:
+        return "qp"
+    return "lp"

@@ -1,0 +1,15 @@
+"""Suppression fixture: real violations silenced per line and per file.
+
+Must produce zero findings.
+"""
+# staticcheck: ignore-file[GF005]
+
+import numpy as np
+
+
+def tolerated_unseeded():
+    return np.random.default_rng()  # staticcheck: ignore[GF001]
+
+
+def tolerated_float_eq(beta):
+    return beta == 0.0

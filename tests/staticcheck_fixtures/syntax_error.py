@@ -1,0 +1,5 @@
+"""Unparseable fixture: the engine must report GF000, not crash."""
+
+
+def broken(:
+    pass

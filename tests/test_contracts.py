@@ -1,0 +1,195 @@
+"""Tests for the runtime contract layer (repro._contracts)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._contracts import (
+    ContractViolation,
+    checked_step,
+    contracts_enabled,
+    queue_bound_observer,
+    verify_action_capacity,
+    verify_queue_invariants,
+)
+from repro.model.action import Action
+from repro.model.queues import QueueNetwork
+from repro.schedulers.base import Scheduler
+from repro.simulation.simulator import Simulator
+
+
+# ----------------------------------------------------------------------
+# The REPRO_CONTRACTS toggle
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("value", ["1", "true", "on", "yes", "TRUE", " On "])
+def test_contracts_enabled_truthy(monkeypatch, value):
+    monkeypatch.setenv("REPRO_CONTRACTS", value)
+    assert contracts_enabled()
+
+
+@pytest.mark.parametrize("value", ["0", "", "no", "off", "false", "2"])
+def test_contracts_enabled_falsy(monkeypatch, value):
+    monkeypatch.setenv("REPRO_CONTRACTS", value)
+    assert not contracts_enabled()
+
+
+def test_contracts_disabled_when_unset(monkeypatch):
+    monkeypatch.delenv("REPRO_CONTRACTS", raising=False)
+    assert not contracts_enabled()
+
+
+# ----------------------------------------------------------------------
+# Queue invariants
+# ----------------------------------------------------------------------
+def test_healthy_network_passes(cluster):
+    queues = QueueNetwork(cluster)
+    queues.step(Action.idle(cluster), np.array([3.0, 2.0]), t=0)
+    verify_queue_invariants(queues)
+
+
+def test_negative_front_queue_is_caught(cluster):
+    queues = QueueNetwork(cluster)
+    queues._front[0] = -1.0  # staticcheck: ignore[GF002]
+    with pytest.raises(ContractViolation, match="central queue went negative"):
+        verify_queue_invariants(queues)
+
+
+def test_negative_dc_queue_is_caught(cluster):
+    queues = QueueNetwork(cluster)
+    queues._dc[1, 0] = -0.5  # staticcheck: ignore[GF002]
+    with pytest.raises(ContractViolation, match="data center queue went negative"):
+        verify_queue_invariants(queues)
+
+
+def test_ledger_exceeding_scalar_is_caught(cluster):
+    queues = QueueNetwork(cluster)
+    # A phantom ledger batch with no matching scalar mass desynchronizes
+    # the eqs. (12)-(13) state.
+    queues._front_ledger[0].append([0, 5.0])  # staticcheck: ignore[GF002]
+    with pytest.raises(ContractViolation, match="desynchronized"):
+        verify_queue_invariants(queues)
+
+
+def test_phantom_scalar_mass_is_tolerated(cluster):
+    # The converse is legal: non-physical actions inflate the scalars
+    # with phantom jobs the ledgers never saw.
+    queues = QueueNetwork(cluster)
+    queues._front[0] = 4.0  # staticcheck: ignore[GF002]
+    verify_queue_invariants(queues)
+
+
+def test_checked_step_raises_on_corrupt_post_state(monkeypatch, cluster):
+    monkeypatch.setenv("REPRO_CONTRACTS", "1")
+    queues = QueueNetwork(cluster)
+    queues._front_ledger[1].append([0, 2.0])  # staticcheck: ignore[GF002]
+    with pytest.raises(ContractViolation):
+        queues.step(Action.idle(cluster), np.zeros(2), t=0)
+
+
+def test_checked_step_inactive_when_disabled(monkeypatch, cluster):
+    monkeypatch.setenv("REPRO_CONTRACTS", "0")
+    queues = QueueNetwork(cluster)
+    queues._front_ledger[1].append([0, 2.0])  # staticcheck: ignore[GF002]
+    queues.step(Action.idle(cluster), np.zeros(2), t=0)
+
+
+def test_checked_step_preserves_metadata(monkeypatch):
+    assert QueueNetwork.step.__name__ == "step"
+    monkeypatch.setenv("REPRO_CONTRACTS", "0")
+
+    class Stub:
+        @checked_step
+        def step(self, action, arrivals, t):
+            """doc"""
+            return {"ok": t}
+
+    assert Stub().step(None, None, 7) == {"ok": 7}
+    assert Stub.step.__doc__ == "doc"
+
+
+# ----------------------------------------------------------------------
+# Action capacity feasibility
+# ----------------------------------------------------------------------
+def test_feasible_action_passes(cluster, state):
+    verify_action_capacity(cluster, state, Action.idle(cluster))
+
+
+def test_ineligible_routing_is_caught(cluster, state):
+    # Job type 1 is eligible only at DC 1 in the test cluster.
+    route = np.zeros((2, 2))
+    route[0, 1] = 1.0
+    action = Action(route, np.zeros((2, 2)), np.zeros((2, 2)))
+    with pytest.raises(ContractViolation, match="infeasible slot action"):
+        verify_action_capacity(cluster, state, action)
+
+
+def test_work_over_capacity_is_caught(cluster, state):
+    # Serving with zero busy servers violates the eq. (11) coupling.
+    serve = np.zeros((2, 2))
+    serve[1, 0] = 3.0
+    action = Action(np.zeros((2, 2)), serve, np.zeros((2, 2)))
+    with pytest.raises(ContractViolation, match="infeasible slot action"):
+        verify_action_capacity(cluster, state, action)
+
+
+# ----------------------------------------------------------------------
+# Theorem 1a queue bound observer
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("bad", [float("nan"), float("inf"), -1.0])
+def test_queue_bound_observer_rejects_bad_bound(bad):
+    with pytest.raises(ValueError, match="finite non-negative"):
+        queue_bound_observer(bad)
+
+
+def test_queue_bound_observer_raises_when_exceeded(cluster):
+    queues = QueueNetwork(cluster)
+    queues.step(Action.idle(cluster), np.array([10.0, 0.0]), t=0)
+    observer = queue_bound_observer(bound=5.0, force=True)
+    with pytest.raises(ContractViolation, match="Theorem 1a queue bound"):
+        observer(0, None, None, queues)
+
+
+def test_queue_bound_observer_passes_under_bound(cluster):
+    queues = QueueNetwork(cluster)
+    queues.step(Action.idle(cluster), np.array([3.0, 0.0]), t=0)
+    queue_bound_observer(bound=5.0, force=True)(0, None, None, queues)
+
+
+def test_queue_bound_observer_respects_toggle(monkeypatch, cluster):
+    queues = QueueNetwork(cluster)
+    queues.step(Action.idle(cluster), np.array([10.0, 0.0]), t=0)
+    observer = queue_bound_observer(bound=5.0)
+    monkeypatch.setenv("REPRO_CONTRACTS", "0")
+    observer(0, None, None, queues)  # silent while disabled
+    monkeypatch.setenv("REPRO_CONTRACTS", "1")
+    with pytest.raises(ContractViolation):
+        observer(0, None, None, queues)
+
+
+# ----------------------------------------------------------------------
+# Simulator integration
+# ----------------------------------------------------------------------
+class _RogueScheduler(Scheduler):
+    """Routes a job to an ineligible site every slot."""
+
+    name = "rogue"
+
+    def decide(self, t, state, queues):
+        state = self.prepare_state(state)
+        route = np.zeros((2, 2))
+        route[0, 1] = 1.0  # type 1 is not eligible at DC 0
+        return Action(route, np.zeros((2, 2)), np.zeros((2, 2)))
+
+
+def test_simulator_contract_catches_rogue_scheduler(monkeypatch, scenario):
+    monkeypatch.setenv("REPRO_CONTRACTS", "1")
+    sim = Simulator(scenario, _RogueScheduler(scenario.cluster), enforce_physical=False)
+    with pytest.raises(ContractViolation, match="infeasible slot action"):
+        sim.run(horizon=3)
+
+
+def test_simulator_contract_off_lets_rogue_run(monkeypatch, scenario):
+    monkeypatch.setenv("REPRO_CONTRACTS", "0")
+    sim = Simulator(scenario, _RogueScheduler(scenario.cluster), enforce_physical=False)
+    sim.run(horizon=3)

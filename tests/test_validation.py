@@ -7,6 +7,7 @@ from repro._validation import (
     as_float_array,
     as_int_array,
     require_array_shape,
+    require_at_least,
     require_in_range,
     require_integer,
     require_non_negative,
@@ -48,6 +49,37 @@ class TestRequireNonNegative:
         with pytest.raises(ValueError):
             require_non_negative(float("nan"), "x")
 
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            require_non_negative(float("inf"), "x")
+
+    def test_returns_builtin_float(self):
+        out = require_non_negative(np.float64(1.5), "x")
+        assert type(out) is float and out == 1.5
+
+
+class TestRequireAtLeast:
+    def test_accepts_equal_to_minimum(self):
+        assert require_at_least(1.0, 1.0, "x") == 1.0
+
+    def test_accepts_above_minimum(self):
+        assert require_at_least(2.5, 1.0, "x") == 2.5
+
+    def test_rejects_below_minimum(self):
+        with pytest.raises(ValueError, match="x must be a finite number >= 1.0"):
+            require_at_least(0.999, 1.0, "x")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            require_at_least(float("nan"), 1.0, "x")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            require_at_least(float("inf"), 1.0, "x")
+
+    def test_negative_minimum(self):
+        assert require_at_least(-1.0, -2.0, "x") == -1.0
+
 
 class TestRequireInRange:
     def test_accepts_boundaries(self):
@@ -60,6 +92,14 @@ class TestRequireInRange:
         with pytest.raises(ValueError):
             require_in_range(-0.5, 0.0, 1.0, "x")
 
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            require_in_range(float("nan"), 0.0, 1.0, "x")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            require_in_range(float("inf"), 0.0, 1.0, "x")
+
 
 class TestRequireInteger:
     def test_accepts_int(self):
@@ -71,6 +111,10 @@ class TestRequireInteger:
     def test_rejects_bool(self):
         with pytest.raises(TypeError):
             require_integer(True, "x")
+
+    def test_rejects_numpy_bool(self):
+        with pytest.raises(TypeError):
+            require_integer(np.bool_(True), "x")
 
     def test_rejects_float(self):
         with pytest.raises(TypeError):
@@ -95,6 +139,8 @@ class TestArrayHelpers:
             require_non_negative_array(np.array([-1.0]), "x")
         with pytest.raises(ValueError):
             require_non_negative_array(np.array([np.nan]), "x")
+        with pytest.raises(ValueError):
+            require_non_negative_array(np.array([np.inf]), "x")
 
     def test_as_float_array(self):
         out = as_float_array([1, 2, 3], "x")
@@ -105,6 +151,11 @@ class TestArrayHelpers:
         with pytest.raises(TypeError):
             as_float_array(["a"], "x")
 
+    def test_as_float_array_keeps_nan(self):
+        # Conversion is lossless; range checks are a separate concern.
+        out = as_float_array([1.0, float("nan")], "x")
+        assert np.isnan(out[1])
+
     def test_as_int_array(self):
         out = as_int_array([1, 2], "x")
         assert out.dtype == np.int64
@@ -112,3 +163,11 @@ class TestArrayHelpers:
     def test_as_int_array_rejects_lossy(self):
         with pytest.raises(ValueError):
             as_int_array(np.array([1.5]), "x")
+
+    def test_as_int_array_accepts_integral_floats(self):
+        np.testing.assert_array_equal(as_int_array(np.array([2.0, 3.0]), "x"), [2, 3])
+
+    def test_as_int_array_bools_become_ints(self):
+        out = as_int_array([True, False], "x")
+        assert out.dtype == np.int64
+        np.testing.assert_array_equal(out, [1, 0])
