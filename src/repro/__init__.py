@@ -18,15 +18,23 @@ The package provides:
 * Theorem 1 constants/bounds and slackness checking;
 * a fault-injection & resilience subsystem (:mod:`repro.faults`):
   outages, capacity crashes, stale price feeds and partitions with
-  degraded-mode scheduling and recovery reporting.
+  degraded-mode scheduling and recovery reporting;
+* a declarative run engine (:mod:`repro.runner`): frozen
+  :class:`RunSpec` descriptions executed serially or across a process
+  pool (bit-identical), with a content-addressed on-disk result cache.
 
 Quickstart::
 
-    from repro import GreFarScheduler, Simulator, paper_scenario
+    from repro import RunSpec, ScenarioSpec, run_many
 
-    scenario = paper_scenario(horizon=500, seed=1)
-    scheduler = GreFarScheduler(scenario.cluster, v=7.5, beta=100.0)
-    result = Simulator(scenario, scheduler).run()
+    specs = [
+        RunSpec(
+            scenario=ScenarioSpec(kind="paper", horizon=500, seed=1),
+            scheduler="grefar",
+            scheduler_kwargs={"v": 7.5, "beta": 100.0},
+        )
+    ]
+    (result,) = run_many(specs, jobs=2)
     print(result.summary.as_dict())
 """
 
@@ -80,6 +88,15 @@ from repro.faults import (
     RequeuePolicy,
     ResilienceObserver,
     ResilienceReport,
+)
+from repro.runner import (
+    ResultCache,
+    RunResult,
+    RunSpec,
+    ScenarioSpec,
+    default_cache,
+    run_many,
+    run_spec,
 )
 from repro.schedulers import (
     AlwaysScheduler,
@@ -151,8 +168,12 @@ __all__ = [
     "RequeuePolicy",
     "ResilienceObserver",
     "ResilienceReport",
+    "ResultCache",
     "RoundRobinScheduler",
+    "RunResult",
+    "RunSpec",
     "Scenario",
+    "ScenarioSpec",
     "Scheduler",
     "ServerClass",
     "SimulationResult",
@@ -164,10 +185,13 @@ __all__ = [
     "TieredPricing",
     "TroughFillingScheduler",
     "check_slackness",
+    "default_cache",
     "paper_cluster",
     "parallelism_service_bounds",
     "paper_scenario",
     "run_comparison",
+    "run_many",
+    "run_spec",
     "small_cluster",
     "small_scenario",
 ]

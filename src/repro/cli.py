@@ -4,17 +4,26 @@ Usage (also available as ``python -m repro.cli``)::
 
     repro list                                # schedulers & experiments
     repro run --scheduler grefar --v 7.5 --beta 100 --horizon 500
-    repro compare --horizon 500               # GreFar vs every baseline
+    repro compare --horizon 500 --jobs 4      # GreFar vs every baseline
     repro sweep-v --values 0.1,2.5,7.5,20     # the Fig. 2 sweep
     repro experiment fig2 --horizon 2000      # regenerate a paper figure
     repro resilience --dc 1 --start 150 --duration 60   # outage drill
+    repro cache info                          # result-cache statistics
     repro lint src/repro --format json        # project static checker
+
+Every simulation-launching subcommand routes through
+:mod:`repro.runner`: ``--jobs N`` fans independent runs across worker
+processes (bit-identical to serial) and completed runs are served from
+the content-addressed cache under ``.repro_cache/`` unless
+``--no-cache`` is given.  A ``runner: N executed, M cached`` line after
+the output reports what actually ran.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.analysis import format_table
@@ -24,60 +33,140 @@ from repro.core.grefar import GreFarScheduler
 from repro.core.slackness import check_slackness
 from repro.faults import FaultEvent, FaultInjector, FaultSchedule, ResilienceObserver
 from repro.faults.events import FAULT_KINDS
-from repro.scenarios import paper_scenario
-from repro.schedulers import (
-    AlwaysScheduler,
-    PriceThresholdScheduler,
-    RandomRoutingScheduler,
-    RecedingHorizonScheduler,
-    RoundRobinScheduler,
-    TroughFillingScheduler,
+from repro.runner import (
+    ResultCache,
+    RunSpec,
+    ScenarioSpec,
+    default_cache,
+    reset_stats,
+    run_many,
+    runner_stats,
 )
+from repro.scenarios import paper_scenario
+from repro.schedulers import AlwaysScheduler, RandomRoutingScheduler, scheduler_names
 from repro.simulation.simulator import Simulator
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "ExperimentInfo", "experiment_info"]
 
-_EXPERIMENTS = {
-    "table1": "repro.experiments.table1",
-    "fig1": "repro.experiments.fig1_trace",
-    "fig2": "repro.experiments.fig2_v_sweep",
-    "fig3": "repro.experiments.fig3_beta",
-    "fig4": "repro.experiments.fig4_vs_always",
-    "fig5": "repro.experiments.fig5_snapshot",
-    "work": "repro.experiments.work_distribution",
-    "theorem1": "repro.experiments.theorem1",
-    "surface": "repro.experiments.tradeoff_surface",
-    "convergence": "repro.experiments.convergence",
-    "delays": "repro.experiments.delay_distribution",
+
+# ----------------------------------------------------------------------
+# Experiment registry: name -> module + run metadata.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExperimentInfo:
+    """Metadata the CLI needs to launch one experiment module.
+
+    ``default_horizon=None`` marks an experiment whose ``main()`` takes
+    no ``horizon`` argument (Fig. 5 is parametrized by warmup/window
+    instead); ``--horizon`` is ignored for those.
+    """
+
+    name: str
+    module: str
+    description: str
+    default_horizon: int | None = 2000
+
+    def main_kwargs(self, args) -> dict:
+        """The ``main()`` keyword arguments for parsed CLI *args*."""
+        kwargs = {
+            "seed": args.seed,
+            "jobs": args.jobs,
+            "use_cache": not args.no_cache,
+        }
+        if self.default_horizon is not None:
+            kwargs["horizon"] = args.horizon or self.default_horizon
+        return kwargs
+
+
+_EXPERIMENTS: dict = {
+    info.name: info
+    for info in (
+        ExperimentInfo(
+            "table1", "repro.experiments.table1",
+            "Table I: configuration and electricity prices",
+        ),
+        ExperimentInfo(
+            "fig1", "repro.experiments.fig1_trace",
+            "Fig. 1: price and per-organization work trace",
+            default_horizon=72,
+        ),
+        ExperimentInfo(
+            "fig2", "repro.experiments.fig2_v_sweep",
+            "Fig. 2: energy/delay versus V (beta = 0)",
+        ),
+        ExperimentInfo(
+            "fig3", "repro.experiments.fig3_beta",
+            "Fig. 3: impact of beta (V = 7.5)",
+        ),
+        ExperimentInfo(
+            "fig4", "repro.experiments.fig4_vs_always",
+            "Fig. 4: GreFar versus the Always baseline",
+        ),
+        ExperimentInfo(
+            "fig5", "repro.experiments.fig5_snapshot",
+            "Fig. 5: one-day schedule snapshot in DC #1",
+            default_horizon=None,
+        ),
+        ExperimentInfo(
+            "work", "repro.experiments.work_distribution",
+            "work distribution across data centers",
+        ),
+        ExperimentInfo(
+            "theorem1", "repro.experiments.theorem1",
+            "Theorem 1: queue bound and cost-gap checks",
+            default_horizon=240,
+        ),
+        ExperimentInfo(
+            "surface", "repro.experiments.tradeoff_surface",
+            "(V, beta) tradeoff surface",
+            default_horizon=600,
+        ),
+        ExperimentInfo(
+            "convergence", "repro.experiments.convergence",
+            "empirical O(1/V) convergence fit",
+            default_horizon=240,
+        ),
+        ExperimentInfo(
+            "delays", "repro.experiments.delay_distribution",
+            "delay percentiles per V",
+            default_horizon=800,
+        ),
+    )
 }
 
-_SCHEDULERS = (
-    "grefar",
-    "always",
-    "threshold",
-    "random",
-    "roundrobin",
-    "trough",
-    "mpc",
-)
+
+def experiment_info(name: str) -> ExperimentInfo:
+    """The registry row for *name* (raises ``ValueError`` if unknown)."""
+    try:
+        return _EXPERIMENTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {name!r}; choose from {sorted(_EXPERIMENTS)}"
+        ) from None
 
 
-def _build_scheduler(name: str, cluster, args) -> object:
-    if name == "grefar":
-        return GreFarScheduler(cluster, v=args.v, beta=args.beta)
-    if name == "always":
-        return AlwaysScheduler(cluster)
-    if name == "threshold":
-        return PriceThresholdScheduler(cluster, threshold=args.threshold)
-    if name == "random":
-        return RandomRoutingScheduler(cluster, seed=args.seed)
-    if name == "roundrobin":
-        return RoundRobinScheduler(cluster)
-    if name == "trough":
-        return TroughFillingScheduler(cluster)
-    if name == "mpc":
-        return RecedingHorizonScheduler(cluster)
-    raise ValueError(f"unknown scheduler {name!r}")
+#: CLI flags forwarded as scheduler kwargs when the registry entry
+#: accepts the parameter (``repro run --scheduler threshold --threshold ...``).
+_RUN_PARAM_FLAGS = ("v", "beta", "threshold", "seed")
+
+
+def _scheduler_kwargs_from_args(name: str, args) -> dict:
+    from repro.schedulers import scheduler_entry
+
+    entry = scheduler_entry(name)
+    return {
+        param: getattr(args, param)
+        for param in _RUN_PARAM_FLAGS
+        if param in entry.params
+    }
+
+
+def _cache_for(args) -> ResultCache | None:
+    return None if args.no_cache else default_cache()
+
+
+def _print_runner_stats() -> None:
+    print(runner_stats().render())
 
 
 def _summary_row(summary) -> tuple:
@@ -94,15 +183,19 @@ _SUMMARY_HEADERS = ["Scheduler", "Avg energy", "Avg fairness", "Avg delay", "Max
 
 
 def _cmd_list(args) -> int:
-    print("schedulers: " + ", ".join(_SCHEDULERS))
+    print("schedulers: " + ", ".join(scheduler_names()))
     print("experiments: " + ", ".join(sorted(_EXPERIMENTS)))
     return 0
 
 
 def _cmd_run(args) -> int:
-    scenario = paper_scenario(horizon=args.horizon, seed=args.seed)
-    scheduler = _build_scheduler(args.scheduler, scenario.cluster, args)
-    result = Simulator(scenario, scheduler).run()
+    reset_stats()
+    spec = RunSpec(
+        scenario=ScenarioSpec(kind="paper", horizon=args.horizon, seed=args.seed),
+        scheduler=args.scheduler,
+        scheduler_kwargs=_scheduler_kwargs_from_args(args.scheduler, args),
+    )
+    result = run_many([spec], jobs=args.jobs, cache=_cache_for(args))[0]
     print(
         format_table(
             _SUMMARY_HEADERS,
@@ -111,22 +204,25 @@ def _cmd_run(args) -> int:
             title=f"{args.horizon}-slot run (seed {args.seed})",
         )
     )
+    _print_runner_stats()
     return 0
 
 
 def _cmd_compare(args) -> int:
-    scenario = paper_scenario(horizon=args.horizon, seed=args.seed)
-    cluster = scenario.cluster
-    schedulers = [
-        GreFarScheduler(cluster, v=args.v, beta=args.beta),
-        AlwaysScheduler(cluster),
-        TroughFillingScheduler(cluster),
-        RoundRobinScheduler(cluster),
+    reset_stats()
+    scenario_spec = ScenarioSpec(kind="paper", horizon=args.horizon, seed=args.seed)
+    contenders = [
+        ("grefar", {"v": args.v, "beta": args.beta}),
+        ("always", {}),
+        ("trough", {}),
+        ("roundrobin", {}),
     ]
-    rows = []
-    for scheduler in schedulers:
-        result = Simulator(scenario, scheduler).run()
-        rows.append(_summary_row(result.summary))
+    specs = [
+        RunSpec(scenario=scenario_spec, scheduler=name, scheduler_kwargs=kwargs)
+        for name, kwargs in contenders
+    ]
+    results = run_many(specs, jobs=args.jobs, cache=_cache_for(args))
+    rows = [_summary_row(result.summary) for result in results]
     print(
         format_table(
             _SUMMARY_HEADERS,
@@ -135,6 +231,7 @@ def _cmd_compare(args) -> int:
             title=f"Scheduler comparison over {args.horizon} slots (seed {args.seed})",
         )
     )
+    _print_runner_stats()
     return 0
 
 
@@ -143,8 +240,15 @@ def _cmd_sweep_v(args) -> int:
     if not values:
         print("error: --values must list at least one V", file=sys.stderr)
         return 2
+    reset_stats()
     scenario = paper_scenario(horizon=args.horizon, seed=args.seed)
-    points = sweep_v(scenario, values, beta=args.beta)
+    points = sweep_v(
+        scenario,
+        values,
+        beta=args.beta,
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+    )
     rows = [
         (f"{p.v:g}", p.avg_energy_cost, p.avg_total_delay, p.max_queue_length)
         for p in points
@@ -156,6 +260,7 @@ def _cmd_sweep_v(args) -> int:
             title=f"V sweep over {args.horizon} slots (beta={args.beta:g})",
         )
     )
+    _print_runner_stats()
     return 0
 
 
@@ -237,8 +342,26 @@ def _cmd_resilience(args) -> int:
     return 0
 
 
+def _cmd_cache(args) -> int:
+    """Inspect or clear the on-disk result cache."""
+    cache = default_cache()
+    if cache is None:
+        print("cache disabled (REPRO_NO_CACHE is set)")
+        return 0
+    if args.action == "info":
+        info = cache.info()
+        print(
+            f"cache at {info['root']} (schema {info['schema']}): "
+            f"{info['entries']} entries, {info['bytes']} bytes"
+        )
+        return 0
+    removed = cache.clear()
+    print(f"removed {removed} cache entries from {cache.root}")
+    return 0
+
+
 def _cmd_lint(args) -> int:
-    """Run the project-specific static checker (GF001-GF005)."""
+    """Run the project-specific static checker (GF001-GF006)."""
     from repro.tools.staticcheck.cli import run as staticcheck_run
     from repro.tools.staticcheck.reporters import render_rule_listing
 
@@ -249,25 +372,34 @@ def _cmd_lint(args) -> int:
 
 
 def _cmd_experiment(args) -> int:
-    module_path = _EXPERIMENTS.get(args.name)
-    if module_path is None:
-        print(
-            f"error: unknown experiment {args.name!r}; choose from "
-            f"{sorted(_EXPERIMENTS)}",
-            file=sys.stderr,
-        )
+    try:
+        info = experiment_info(args.name)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
     import importlib
 
-    module = importlib.import_module(module_path)
-    defaults = {"theorem1": 240, "fig1": 72, "surface": 600, "convergence": 240, "delays": 800}
-    if args.name == "fig5":
-        module.main(seed=args.seed)
-    else:
-        module.main(
-            horizon=args.horizon or defaults.get(args.name, 2000), seed=args.seed
-        )
+    module = importlib.import_module(info.module)
+    reset_stats()
+    module.main(**info.main_kwargs(args))
+    _print_runner_stats()
     return 0
+
+
+def _add_runner_flags(command) -> None:
+    """The shared fan-out/caching surface of runner-routed subcommands."""
+    command.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for independent runs (results are "
+        "bit-identical to --jobs 1)",
+    )
+    command.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk result cache (.repro_cache/)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -281,24 +413,27 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list schedulers and experiments")
 
     run = sub.add_parser("run", help="run one scheduler on the paper scenario")
-    run.add_argument("--scheduler", choices=_SCHEDULERS, default="grefar")
+    run.add_argument("--scheduler", choices=scheduler_names(), default="grefar")
     run.add_argument("--v", type=float, default=7.5, help="cost-delay parameter V")
     run.add_argument("--beta", type=float, default=0.0, help="energy-fairness beta")
     run.add_argument("--threshold", type=float, default=0.4)
     run.add_argument("--horizon", type=int, default=500)
     run.add_argument("--seed", type=int, default=0)
+    _add_runner_flags(run)
 
     compare = sub.add_parser("compare", help="GreFar versus the baselines")
     compare.add_argument("--v", type=float, default=7.5)
     compare.add_argument("--beta", type=float, default=100.0)
     compare.add_argument("--horizon", type=int, default=500)
     compare.add_argument("--seed", type=int, default=0)
+    _add_runner_flags(compare)
 
     sweep = sub.add_parser("sweep-v", help="sweep the cost-delay parameter")
     sweep.add_argument("--values", default="0.1,2.5,7.5,20")
     sweep.add_argument("--beta", type=float, default=0.0)
     sweep.add_argument("--horizon", type=int, default=500)
     sweep.add_argument("--seed", type=int, default=0)
+    _add_runner_flags(sweep)
 
     resilience = sub.add_parser(
         "resilience", help="fault drill: inject a fault, report recovery"
@@ -324,6 +459,10 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("name", help=f"one of {sorted(_EXPERIMENTS)}")
     exp.add_argument("--horizon", type=int, default=None)
     exp.add_argument("--seed", type=int, default=0)
+    _add_runner_flags(exp)
+
+    cache = sub.add_parser("cache", help="inspect or clear the result cache")
+    cache.add_argument("action", choices=("info", "clear"))
 
     lint = sub.add_parser(
         "lint", help="project static checker (determinism, queue hygiene, ...)"
@@ -345,6 +484,7 @@ _COMMANDS = {
     "sweep-v": _cmd_sweep_v,
     "resilience": _cmd_resilience,
     "experiment": _cmd_experiment,
+    "cache": _cmd_cache,
     "lint": _cmd_lint,
 }
 

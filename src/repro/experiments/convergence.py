@@ -16,10 +16,9 @@ from typing import Sequence
 import numpy as np
 
 from repro.analysis.tables import format_table
-from repro.core.grefar import GreFarScheduler
+from repro.runner import RunSpec, default_cache, run_many
 from repro.scenarios import paper_scenario
 from repro.schedulers.lookahead import LookaheadPolicy
-from repro.simulation.simulator import Simulator
 from repro.simulation.trace import Scenario
 
 __all__ = ["ConvergenceResult", "run", "main"]
@@ -62,6 +61,8 @@ def run(
     seed: int = 0,
     v_values: Sequence[float] = (2.0, 4.0, 8.0, 16.0, 32.0, 64.0),
     scenario: Scenario | None = None,
+    jobs: int = 1,
+    use_cache: bool = False,
 ) -> ConvergenceResult:
     """Measure gap(V) against the lookahead optimum and fit a + b/V."""
     if scenario is None:
@@ -81,12 +82,22 @@ def run(
     )
     optimum = policy.solve().mean_cost
 
-    costs = []
-    for v in v_values:
-        result = Simulator(
-            scenario, GreFarScheduler(scenario.cluster, v=v)
-        ).run(horizon)
-        costs.append(result.summary.avg_energy_cost)
+    specs = [
+        RunSpec(
+            scenario=None,
+            scheduler="grefar",
+            scheduler_kwargs={"v": float(v)},
+            horizon=horizon,
+        )
+        for v in v_values
+    ]
+    results = run_many(
+        specs,
+        jobs=jobs,
+        cache=default_cache() if use_cache else None,
+        scenario=scenario,
+    )
+    costs = [r.summary.avg_energy_cost for r in results]
     gaps = np.array(costs) - optimum
 
     # Least-squares fit gap = a + b * (1/V).
@@ -109,9 +120,14 @@ def run(
     )
 
 
-def main(horizon: int = 480, seed: int = 0) -> ConvergenceResult:
+def main(
+    horizon: int = 480,
+    seed: int = 0,
+    jobs: int = 1,
+    use_cache: bool = True,
+) -> ConvergenceResult:
     """Run and print the convergence table and fit."""
-    result = run(horizon=horizon, seed=seed)
+    result = run(horizon=horizon, seed=seed, jobs=jobs, use_cache=use_cache)
     rows = [
         (f"{v:g}", result.grefar_costs[i], result.gaps[i])
         for i, v in enumerate(result.v_values)

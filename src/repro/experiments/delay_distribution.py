@@ -17,9 +17,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.analysis.tables import format_table
-from repro.core.grefar import GreFarScheduler
-from repro.scenarios import paper_scenario
-from repro.simulation.simulator import Simulator
+from repro.runner import RunSpec, ScenarioSpec, default_cache, run_many
 from repro.simulation.trace import Scenario
 
 __all__ = ["DelayDistributionResult", "run", "main"]
@@ -42,22 +40,38 @@ def run(
     seed: int = 0,
     v_values: Sequence[float] = (0.1, 2.5, 7.5, 20.0),
     scenario: Scenario | None = None,
+    jobs: int = 1,
+    use_cache: bool = False,
 ) -> DelayDistributionResult:
     """Measure data-center delay percentiles for each V."""
     if scenario is None:
-        scenario = paper_scenario(horizon=horizon, seed=seed)
+        scenario_spec = ScenarioSpec(kind="paper", horizon=horizon, seed=seed)
     else:
+        scenario_spec = None
         horizon = scenario.horizon
+    specs = [
+        RunSpec(
+            scenario=scenario_spec,
+            scheduler="grefar",
+            scheduler_kwargs={"v": float(v), "beta": 0.0},
+            horizon=horizon,
+            collect=("delay_percentiles",),
+        )
+        for v in v_values
+    ]
+    results = run_many(
+        specs,
+        jobs=jobs,
+        cache=default_cache() if use_cache else None,
+        scenario=scenario,
+    )
     mean, p50, p95, p99, max_queue = [], [], [], [], []
-    for v in v_values:
-        result = Simulator(
-            scenario, GreFarScheduler(scenario.cluster, v=v, beta=0.0)
-        ).run(horizon)
-        stats = result.queues.stats
-        mean.append(stats.mean_dc_delay())
-        p50.append(stats.dc_delay_percentile(0.50))
-        p95.append(stats.dc_delay_percentile(0.95))
-        p99.append(stats.dc_delay_percentile(0.99))
+    for result in results:
+        percentiles = result.series["delay_percentiles"]
+        mean.append(percentiles["mean"])
+        p50.append(percentiles["p50"])
+        p95.append(percentiles["p95"])
+        p99.append(percentiles["p99"])
         max_queue.append(result.summary.max_queue_length)
     return DelayDistributionResult(
         v_values=tuple(v_values),
@@ -69,9 +83,14 @@ def run(
     )
 
 
-def main(horizon: int = 800, seed: int = 0) -> DelayDistributionResult:
+def main(
+    horizon: int = 800,
+    seed: int = 0,
+    jobs: int = 1,
+    use_cache: bool = True,
+) -> DelayDistributionResult:
     """Run and print the per-V delay distribution table."""
-    result = run(horizon=horizon, seed=seed)
+    result = run(horizon=horizon, seed=seed, jobs=jobs, use_cache=use_cache)
     rows = [
         (
             f"V={v:g}",

@@ -18,8 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.tables import format_table
-from repro.scenarios import paper_cluster, paper_scenario
-from repro.workloads.cosmos import CosmosWorkload
+from repro.runner import RunSpec, ScenarioSpec, default_cache, run_many
 
 __all__ = ["Fig1Result", "run", "main"]
 
@@ -36,13 +35,28 @@ class Fig1Result:
     org_silent_fraction: tuple  # fraction of hours below 10% of org mean
 
 
-def run(horizon: int = 72, seed: int = 0) -> Fig1Result:
-    """Generate the 72-hour trace and compute the shape statistics."""
-    cluster = paper_cluster()
-    scenario = paper_scenario(horizon=horizon, seed=seed, cluster=cluster)
-    workload = CosmosWorkload(cluster)
-    org_work = workload.work_by_account(scenario.arrivals)
-    prices = scenario.prices
+def run(
+    horizon: int = 72,
+    seed: int = 0,
+    jobs: int = 1,
+    use_cache: bool = False,
+) -> Fig1Result:
+    """Generate the 72-hour trace and compute the shape statistics.
+
+    A scenario-only :class:`~repro.runner.RunSpec`: the runner hands
+    back the price panel and the per-organization work panel without
+    simulating anything.
+    """
+    spec = RunSpec(
+        scenario=ScenarioSpec(kind="paper", horizon=horizon, seed=seed),
+        scheduler=None,
+        collect=("scenario.prices", "scenario.org_work"),
+    )
+    result = run_many(
+        [spec], jobs=jobs, cache=default_cache() if use_cache else None
+    )[0]
+    prices = result.series["scenario.prices"]
+    org_work = result.series["scenario.org_work"]
 
     means = prices.mean(axis=0)
     stds = prices.std(axis=0)
@@ -66,9 +80,14 @@ def run(horizon: int = 72, seed: int = 0) -> Fig1Result:
     )
 
 
-def main(horizon: int = 72, seed: int = 0) -> Fig1Result:
+def main(
+    horizon: int = 72,
+    seed: int = 0,
+    jobs: int = 1,
+    use_cache: bool = True,
+) -> Fig1Result:
     """Run and print the Fig. 1 shape summary."""
-    result = run(horizon=horizon, seed=seed)
+    result = run(horizon=horizon, seed=seed, jobs=jobs, use_cache=use_cache)
     price_rows = [
         (f"DC#{i + 1}", result.price_means[i], result.price_cv[i])
         for i in range(len(result.price_means))

@@ -17,9 +17,7 @@ from typing import Sequence
 
 
 from repro.analysis.tables import format_table
-from repro.core.grefar import GreFarScheduler
-from repro.scenarios import paper_scenario
-from repro.simulation.simulator import Simulator
+from repro.runner import RunSpec, ScenarioSpec, default_cache, run_many
 from repro.simulation.trace import Scenario
 
 __all__ = ["Fig2Result", "PAPER_V_VALUES", "run", "main"]
@@ -46,21 +44,34 @@ def run(
     seed: int = 0,
     v_values: Sequence[float] = PAPER_V_VALUES,
     scenario: Scenario | None = None,
+    jobs: int = 1,
+    use_cache: bool = False,
 ) -> Fig2Result:
     """Run the V sweep on a common scenario and collect the Fig. 2 series."""
     if scenario is None:
-        scenario = paper_scenario(horizon=horizon, seed=seed)
+        scenario_spec = ScenarioSpec(kind="paper", horizon=horizon, seed=seed)
     else:
+        scenario_spec = None
         horizon = scenario.horizon
-    energy = []
-    delay1 = []
-    delay2 = []
-    for v in v_values:
-        scheduler = GreFarScheduler(scenario.cluster, v=v, beta=0.0)
-        result = Simulator(scenario, scheduler).run(horizon)
-        energy.append(result.metrics.avg_energy_series())
-        delay1.append(result.metrics.avg_dc_delay_series(0))
-        delay2.append(result.metrics.avg_dc_delay_series(1))
+    specs = [
+        RunSpec(
+            scenario=scenario_spec,
+            scheduler="grefar",
+            scheduler_kwargs={"v": float(v), "beta": 0.0},
+            horizon=horizon,
+            collect=("energy_series", "dc_delay_series:0", "dc_delay_series:1"),
+        )
+        for v in v_values
+    ]
+    results = run_many(
+        specs,
+        jobs=jobs,
+        cache=default_cache() if use_cache else None,
+        scenario=scenario,
+    )
+    energy = [r.series["energy_series"] for r in results]
+    delay1 = [r.series["dc_delay_series:0"] for r in results]
+    delay2 = [r.series["dc_delay_series:1"] for r in results]
     return Fig2Result(
         v_values=tuple(v_values),
         energy_series=tuple(energy),
@@ -72,9 +83,14 @@ def run(
     )
 
 
-def main(horizon: int = 2000, seed: int = 0) -> Fig2Result:
+def main(
+    horizon: int = 2000,
+    seed: int = 0,
+    jobs: int = 1,
+    use_cache: bool = True,
+) -> Fig2Result:
     """Run and print the Fig. 2 endpoint values per V."""
-    result = run(horizon=horizon, seed=seed)
+    result = run(horizon=horizon, seed=seed, jobs=jobs, use_cache=use_cache)
     rows = [
         (
             f"V={v:g}",

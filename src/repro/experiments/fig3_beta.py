@@ -17,9 +17,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.analysis.tables import format_table
-from repro.core.grefar import GreFarScheduler
-from repro.scenarios import paper_scenario
-from repro.simulation.simulator import Simulator
+from repro.runner import RunSpec, ScenarioSpec, default_cache, run_many
 from repro.simulation.trace import Scenario
 
 __all__ = ["Fig3Result", "run", "main"]
@@ -45,21 +43,34 @@ def run(
     v: float = 7.5,
     beta_values: Sequence[float] = (0.0, 100.0),
     scenario: Scenario | None = None,
+    jobs: int = 1,
+    use_cache: bool = False,
 ) -> Fig3Result:
     """Run GreFar for each beta on a common scenario."""
     if scenario is None:
-        scenario = paper_scenario(horizon=horizon, seed=seed)
+        scenario_spec = ScenarioSpec(kind="paper", horizon=horizon, seed=seed)
     else:
+        scenario_spec = None
         horizon = scenario.horizon
-    energy = []
-    fairness = []
-    delay1 = []
-    for beta in beta_values:
-        scheduler = GreFarScheduler(scenario.cluster, v=v, beta=beta)
-        result = Simulator(scenario, scheduler).run(horizon)
-        energy.append(result.metrics.avg_energy_series())
-        fairness.append(result.metrics.avg_fairness_series())
-        delay1.append(result.metrics.avg_dc_delay_series(0))
+    specs = [
+        RunSpec(
+            scenario=scenario_spec,
+            scheduler="grefar",
+            scheduler_kwargs={"v": float(v), "beta": float(beta)},
+            horizon=horizon,
+            collect=("energy_series", "fairness_series", "dc_delay_series:0"),
+        )
+        for beta in beta_values
+    ]
+    results = run_many(
+        specs,
+        jobs=jobs,
+        cache=default_cache() if use_cache else None,
+        scenario=scenario,
+    )
+    energy = [r.series["energy_series"] for r in results]
+    fairness = [r.series["fairness_series"] for r in results]
+    delay1 = [r.series["dc_delay_series:0"] for r in results]
     return Fig3Result(
         v=v,
         beta_values=tuple(beta_values),
@@ -72,9 +83,14 @@ def run(
     )
 
 
-def main(horizon: int = 2000, seed: int = 0) -> Fig3Result:
+def main(
+    horizon: int = 2000,
+    seed: int = 0,
+    jobs: int = 1,
+    use_cache: bool = True,
+) -> Fig3Result:
     """Run and print the Fig. 3 endpoint values per beta."""
-    result = run(horizon=horizon, seed=seed)
+    result = run(horizon=horizon, seed=seed, jobs=jobs, use_cache=use_cache)
     rows = [
         (
             f"beta={b:g}",

@@ -23,10 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.tables import format_table
-from repro.core.grefar import GreFarScheduler
-from repro.scenarios import paper_scenario
-from repro.schedulers.always import AlwaysScheduler
-from repro.simulation.simulator import Simulator
+from repro.runner import RunSpec, ScenarioSpec, default_cache, run_many
 from repro.simulation.trace import Scenario
 
 __all__ = ["Fig4Result", "run", "main"]
@@ -56,31 +53,57 @@ def run(
     v: float = 15.0,
     beta: float = 250.0,
     scenario: Scenario | None = None,
+    jobs: int = 1,
+    use_cache: bool = False,
 ) -> Fig4Result:
     """Run both schedulers on a common scenario."""
     if scenario is None:
-        scenario = paper_scenario(horizon=horizon, seed=seed)
+        scenario_spec = ScenarioSpec(kind="paper", horizon=horizon, seed=seed)
     else:
+        scenario_spec = None
         horizon = scenario.horizon
-    grefar = Simulator(
-        scenario, GreFarScheduler(scenario.cluster, v=v, beta=beta)
-    ).run(horizon)
-    always = Simulator(scenario, AlwaysScheduler(scenario.cluster)).run(horizon)
+    collect = ("energy_series", "fairness_series", "dc_delay_series:0")
+    specs = [
+        RunSpec(
+            scenario=scenario_spec,
+            scheduler="grefar",
+            scheduler_kwargs={"v": float(v), "beta": float(beta)},
+            horizon=horizon,
+            collect=collect,
+        ),
+        RunSpec(
+            scenario=scenario_spec,
+            scheduler="always",
+            horizon=horizon,
+            collect=collect,
+        ),
+    ]
+    grefar, always = run_many(
+        specs,
+        jobs=jobs,
+        cache=default_cache() if use_cache else None,
+        scenario=scenario,
+    )
     return Fig4Result(
         v=v,
         beta=beta,
-        grefar_energy=_pack(grefar.metrics.avg_energy_series()),
-        grefar_fairness=_pack(grefar.metrics.avg_fairness_series()),
-        grefar_delay_dc1=_pack(grefar.metrics.avg_dc_delay_series(0)),
-        always_energy=_pack(always.metrics.avg_energy_series()),
-        always_fairness=_pack(always.metrics.avg_fairness_series()),
-        always_delay_dc1=_pack(always.metrics.avg_dc_delay_series(0)),
+        grefar_energy=_pack(grefar.series["energy_series"]),
+        grefar_fairness=_pack(grefar.series["fairness_series"]),
+        grefar_delay_dc1=_pack(grefar.series["dc_delay_series:0"]),
+        always_energy=_pack(always.series["energy_series"]),
+        always_fairness=_pack(always.series["fairness_series"]),
+        always_delay_dc1=_pack(always.series["dc_delay_series:0"]),
     )
 
 
-def main(horizon: int = 2000, seed: int = 0) -> Fig4Result:
+def main(
+    horizon: int = 2000,
+    seed: int = 0,
+    jobs: int = 1,
+    use_cache: bool = True,
+) -> Fig4Result:
     """Run and print the Fig. 4 endpoint values."""
-    result = run(horizon=horizon, seed=seed)
+    result = run(horizon=horizon, seed=seed, jobs=jobs, use_cache=use_cache)
     rows = [
         (
             "GreFar",

@@ -18,10 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.tables import format_table
-from repro.core.grefar import GreFarScheduler
-from repro.scenarios import paper_scenario
-from repro.schedulers.always import AlwaysScheduler
-from repro.simulation.simulator import Simulator
+from repro.runner import RunSpec, ScenarioSpec, default_cache, run_many
 from repro.simulation.trace import Scenario
 
 __all__ = ["Fig5Result", "run", "main"]
@@ -50,20 +47,41 @@ def run(
     seed: int = 0,
     v: float = 7.5,
     scenario: Scenario | None = None,
+    jobs: int = 1,
+    use_cache: bool = False,
 ) -> Fig5Result:
     """Simulate warmup + window slots; extract the DC #1 day snapshot."""
     horizon = warmup + window
     if scenario is None:
-        scenario = paper_scenario(horizon=horizon, seed=seed)
-    grefar = Simulator(
-        scenario, GreFarScheduler(scenario.cluster, v=v, beta=0.0)
-    ).run(horizon)
-    always = Simulator(scenario, AlwaysScheduler(scenario.cluster)).run(horizon)
+        scenario_spec = ScenarioSpec(kind="paper", horizon=horizon, seed=seed)
+    else:
+        scenario_spec = None
+    specs = [
+        RunSpec(
+            scenario=scenario_spec,
+            scheduler="grefar",
+            scheduler_kwargs={"v": float(v), "beta": 0.0},
+            horizon=horizon,
+            collect=("work_per_dc_series", "scenario.prices"),
+        ),
+        RunSpec(
+            scenario=scenario_spec,
+            scheduler="always",
+            horizon=horizon,
+            collect=("work_per_dc_series",),
+        ),
+    ]
+    grefar, always = run_many(
+        specs,
+        jobs=jobs,
+        cache=default_cache() if use_cache else None,
+        scenario=scenario,
+    )
 
     sl = slice(warmup, horizon)
-    prices = scenario.prices[sl, 0]
-    g_work = grefar.metrics.work_per_dc_series()[sl, 0]
-    a_work = always.metrics.work_per_dc_series()[sl, 0]
+    prices = grefar.series["scenario.prices"][sl, 0]
+    g_work = grefar.series["work_per_dc_series"][sl, 0]
+    a_work = always.series["work_per_dc_series"][sl, 0]
     return Fig5Result(
         prices_dc1=prices,
         grefar_work_dc1=g_work,
@@ -73,9 +91,17 @@ def run(
     )
 
 
-def main(warmup: int = 96, window: int = 24, seed: int = 0) -> Fig5Result:
+def main(
+    warmup: int = 96,
+    window: int = 24,
+    seed: int = 0,
+    jobs: int = 1,
+    use_cache: bool = True,
+) -> Fig5Result:
     """Run and print the snapshot plus price/work correlations."""
-    result = run(warmup=warmup, window=window, seed=seed)
+    result = run(
+        warmup=warmup, window=window, seed=seed, jobs=jobs, use_cache=use_cache
+    )
     rows = [
         (t + 1, result.prices_dc1[t], result.grefar_work_dc1[t], result.always_work_dc1[t])
         for t in range(len(result.prices_dc1))

@@ -45,14 +45,17 @@ def generate_report(
     output_dir: str | Path,
     horizon: int = 800,
     seed: int = 0,
+    jobs: int = 1,
+    use_cache: bool = True,
 ) -> Path:
     """Run every experiment; write ``report.md`` + CSVs; return the path."""
     out = Path(output_dir)
     out.mkdir(parents=True, exist_ok=True)
     sections = []
+    fanout = {"jobs": jobs, "use_cache": use_cache}
 
     # ------------------------------------------------------------- Table I
-    t1 = table1.run(horizon=horizon, seed=seed)
+    t1 = table1.run(horizon=horizon, seed=seed, **fanout)
     sections.append(
         format_table(
             ["DC", "Speed", "Power", "AvgPrice", "Cost/Work"],
@@ -62,7 +65,7 @@ def generate_report(
     )
 
     # ------------------------------------------------------------- Fig. 1
-    f1 = fig1_trace.run(horizon=72, seed=seed)
+    f1 = fig1_trace.run(horizon=72, seed=seed, **fanout)
     _write_csv(
         out / "fig1_prices.csv",
         ["hour"] + [f"dc{i + 1}" for i in range(f1.prices.shape[1])],
@@ -81,7 +84,7 @@ def generate_report(
     )
 
     # ------------------------------------------------------------- Fig. 2
-    f2 = fig2_v_sweep.run(horizon=horizon, seed=seed)
+    f2 = fig2_v_sweep.run(horizon=horizon, seed=seed, **fanout)
     _write_csv(
         out / "fig2_energy.csv",
         ["slot"] + [f"V={v:g}" for v in f2.v_values],
@@ -109,7 +112,7 @@ def generate_report(
     )
 
     # ------------------------------------------------------------- Fig. 3
-    f3 = fig3_beta.run(horizon=horizon, seed=seed)
+    f3 = fig3_beta.run(horizon=horizon, seed=seed, **fanout)
     _write_csv(
         out / "fig3_series.csv",
         ["slot"]
@@ -130,7 +133,7 @@ def generate_report(
     )
 
     # ------------------------------------------------------------- Fig. 4
-    f4 = fig4_vs_always.run(horizon=horizon, seed=seed)
+    f4 = fig4_vs_always.run(horizon=horizon, seed=seed, **fanout)
     sections.append(
         format_table(
             ["", "Energy", "Fairness", "Delay DC1"],
@@ -144,7 +147,7 @@ def generate_report(
     )
 
     # ------------------------------------------------------------- Fig. 5
-    f5 = fig5_snapshot.run(seed=seed)
+    f5 = fig5_snapshot.run(seed=seed, **fanout)
     _write_csv(
         out / "fig5_snapshot.csv",
         ["hour", "price_dc1", "grefar_work", "always_work"],
@@ -162,7 +165,7 @@ def generate_report(
     )
 
     # -------------------------------------------------- work distribution
-    wd = work_distribution.run(horizon=horizon, seed=seed)
+    wd = work_distribution.run(horizon=horizon, seed=seed, **fanout)
     sections.append(
         format_table(
             ["DC", "Avg work/slot", "Cost/work"],
@@ -177,7 +180,7 @@ def generate_report(
 
     # ------------------------------------------------------------ Theorem 1
     th_horizon = (min(horizon, 480) // 24) * 24
-    th = theorem1.run(horizon=max(th_horizon, 48), lookahead=24, seed=seed)
+    th = theorem1.run(horizon=max(th_horizon, 48), lookahead=24, seed=seed, **fanout)
     sections.append(
         format_table(
             ["V", "GreFar cost", "Cost bound", "Max queue", "Queue bound"],
@@ -213,8 +216,20 @@ def main(argv=None) -> int:
     parser.add_argument("--out", default="report")
     parser.add_argument("--horizon", type=int, default=800)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes for run fan-out"
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="bypass the on-disk result cache"
+    )
     args = parser.parse_args(argv)
-    path = generate_report(args.out, horizon=args.horizon, seed=args.seed)
+    path = generate_report(
+        args.out,
+        horizon=args.horizon,
+        seed=args.seed,
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+    )
     print(f"wrote {path}")
     return 0
 

@@ -25,14 +25,12 @@ from typing import Sequence
 
 import numpy as np
 
-from repro._contracts import queue_bound_observer
 from repro.analysis.tables import format_table
 from repro.core.bounds import TheoremConstants
-from repro.core.grefar import GreFarScheduler
 from repro.core.slackness import check_slackness
+from repro.runner import RunSpec, default_cache, run_many
 from repro.scenarios import paper_scenario
 from repro.schedulers.lookahead import LookaheadPolicy
-from repro.simulation.simulator import Simulator
 from repro.simulation.trace import Scenario
 
 __all__ = ["Theorem1Result", "run", "main"]
@@ -60,6 +58,8 @@ def run(
     seed: int = 0,
     v_values: Sequence[float] = (1.0, 2.5, 5.0, 10.0, 20.0),
     scenario: Scenario | None = None,
+    jobs: int = 1,
+    use_cache: bool = False,
 ) -> Theorem1Result:
     """Verify both Theorem 1 bounds on one trace."""
     if scenario is None:
@@ -96,22 +96,29 @@ def run(
     )
     lookahead_cost = policy.solve().mean_cost
 
-    grefar_costs = []
-    max_queues = []
-    queue_bounds = []
-    cost_bounds = []
-    for v in v_values:
-        bound = constants.queue_bound(v, delta)
-        # With REPRO_CONTRACTS=1 the Theorem 1a bound is asserted live
-        # at every slot instead of only on the run's final maximum.
-        observers = [queue_bound_observer(bound)] if np.isfinite(bound) else []
-        result = Simulator(
-            scenario, GreFarScheduler(cluster, v=v, beta=0.0), observers=observers
-        ).run()
-        grefar_costs.append(result.summary.avg_combined_cost)
-        max_queues.append(result.summary.max_queue_length)
-        queue_bounds.append(bound)
-        cost_bounds.append(lookahead_cost + constants.cost_gap(v, lookahead))
+    queue_bounds = [constants.queue_bound(v, delta) for v in v_values]
+    # With REPRO_CONTRACTS=1 each spec's Theorem 1a bound is asserted
+    # live at every slot instead of only on the run's final maximum.
+    specs = [
+        RunSpec(
+            scenario=None,
+            scheduler="grefar",
+            scheduler_kwargs={"v": float(v), "beta": 0.0},
+            queue_bound=float(bound) if np.isfinite(bound) else None,
+        )
+        for v, bound in zip(v_values, queue_bounds)
+    ]
+    results = run_many(
+        specs,
+        jobs=jobs,
+        cache=default_cache() if use_cache else None,
+        scenario=scenario,
+    )
+    grefar_costs = [r.summary.avg_combined_cost for r in results]
+    max_queues = [r.summary.max_queue_length for r in results]
+    cost_bounds = [
+        lookahead_cost + constants.cost_gap(v, lookahead) for v in v_values
+    ]
 
     queue_ok = all(q <= b + 1e-6 for q, b in zip(max_queues, queue_bounds))
     cost_ok = all(g <= b + 1e-6 for g, b in zip(grefar_costs, cost_bounds))
@@ -129,9 +136,17 @@ def run(
     )
 
 
-def main(horizon: int = 240, lookahead: int = 24, seed: int = 0) -> Theorem1Result:
+def main(
+    horizon: int = 240,
+    lookahead: int = 24,
+    seed: int = 0,
+    jobs: int = 1,
+    use_cache: bool = True,
+) -> Theorem1Result:
     """Run and print the bound checks per V."""
-    result = run(horizon=horizon, lookahead=lookahead, seed=seed)
+    result = run(
+        horizon=horizon, lookahead=lookahead, seed=seed, jobs=jobs, use_cache=use_cache
+    )
     rows = [
         (
             f"V={v:g}",

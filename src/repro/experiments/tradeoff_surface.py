@@ -19,9 +19,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.analysis.tables import format_table
-from repro.core.grefar import GreFarScheduler
-from repro.scenarios import paper_scenario
-from repro.simulation.simulator import Simulator
+from repro.runner import RunSpec, ScenarioSpec, default_cache, run_many
 from repro.simulation.trace import Scenario
 
 __all__ = ["SurfaceResult", "run", "main"]
@@ -57,22 +55,42 @@ def run(
     v_grid: Sequence[float] = DEFAULT_V_GRID,
     beta_grid: Sequence[float] = DEFAULT_BETA_GRID,
     scenario: Scenario | None = None,
+    jobs: int = 1,
+    use_cache: bool = False,
 ) -> SurfaceResult:
     """Evaluate GreFar at every (V, beta) grid point on one scenario."""
     if scenario is None:
-        scenario = paper_scenario(horizon=horizon, seed=seed)
+        scenario_spec = ScenarioSpec(kind="paper", horizon=horizon, seed=seed)
     else:
+        scenario_spec = None
         horizon = scenario.horizon
+    points = [(vi, bi) for vi in range(len(v_grid)) for bi in range(len(beta_grid))]
+    specs = [
+        RunSpec(
+            scenario=scenario_spec,
+            scheduler="grefar",
+            scheduler_kwargs={
+                "v": float(v_grid[vi]),
+                "beta": float(beta_grid[bi]),
+            },
+            horizon=horizon,
+        )
+        for vi, bi in points
+    ]
+    results = run_many(
+        specs,
+        jobs=jobs,
+        cache=default_cache() if use_cache else None,
+        scenario=scenario,
+    )
     energy = np.zeros((len(v_grid), len(beta_grid)))
     fairness = np.zeros_like(energy)
     delay = np.zeros_like(energy)
-    for vi, v in enumerate(v_grid):
-        for bi, beta in enumerate(beta_grid):
-            scheduler = GreFarScheduler(scenario.cluster, v=v, beta=beta)
-            summary = Simulator(scenario, scheduler).run(horizon).summary
-            energy[vi, bi] = summary.avg_energy_cost
-            fairness[vi, bi] = summary.avg_fairness
-            delay[vi, bi] = summary.avg_total_delay
+    for (vi, bi), result in zip(points, results):
+        summary = result.summary
+        energy[vi, bi] = summary.avg_energy_cost
+        fairness[vi, bi] = summary.avg_fairness
+        delay[vi, bi] = summary.avg_total_delay
     return SurfaceResult(
         v_grid=tuple(v_grid),
         beta_grid=tuple(beta_grid),
@@ -82,9 +100,14 @@ def run(
     )
 
 
-def main(horizon: int = 600, seed: int = 0) -> SurfaceResult:
+def main(
+    horizon: int = 600,
+    seed: int = 0,
+    jobs: int = 1,
+    use_cache: bool = True,
+) -> SurfaceResult:
     """Run and print the control surface."""
-    result = run(horizon=horizon, seed=seed)
+    result = run(horizon=horizon, seed=seed, jobs=jobs, use_cache=use_cache)
     rows = []
     for vi, v in enumerate(result.v_grid):
         for bi, beta in enumerate(result.beta_grid):

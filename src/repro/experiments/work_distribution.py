@@ -19,9 +19,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.tables import format_table
-from repro.core.grefar import GreFarScheduler
-from repro.scenarios import paper_scenario
-from repro.simulation.simulator import Simulator
+from repro.runner import RunSpec, ScenarioSpec, default_cache, run_many
+from repro.scenarios import paper_cluster
 from repro.simulation.trace import Scenario
 
 __all__ = ["WorkDistributionResult", "PAPER_WORK_SPLIT", "run", "main"]
@@ -47,20 +46,37 @@ def run(
     v: float = 7.5,
     beta: float = 100.0,
     scenario: Scenario | None = None,
+    jobs: int = 1,
+    use_cache: bool = False,
 ) -> WorkDistributionResult:
     """Measure the average work per slot GreFar sends to each site."""
     if scenario is None:
-        scenario = paper_scenario(horizon=horizon, seed=seed)
+        scenario_spec = ScenarioSpec(kind="paper", horizon=horizon, seed=seed)
+        cluster = paper_cluster()
     else:
+        scenario_spec = None
         horizon = scenario.horizon
-    cluster = scenario.cluster
-    result = Simulator(scenario, GreFarScheduler(cluster, v=v, beta=beta)).run(horizon)
+        cluster = scenario.cluster
+    spec = RunSpec(
+        scenario=scenario_spec,
+        scheduler="grefar",
+        scheduler_kwargs={"v": float(v), "beta": float(beta)},
+        horizon=horizon,
+        collect=("scenario.price_mean",),
+    )
+    result = run_many(
+        [spec],
+        jobs=jobs,
+        cache=default_cache() if use_cache else None,
+        scenario=scenario,
+    )[0]
     work = tuple(result.summary.avg_work_per_dc)
+    price_means = result.series["scenario.price_mean"]
 
     costs = []
     for i in range(cluster.num_datacenters):
         server = cluster.server_classes[i]
-        avg_price = float(np.mean(scenario.prices[:, i]))
+        avg_price = float(price_means[i])
         costs.append(avg_price * server.energy_per_unit_work)
 
     # More work should go where energy cost per unit work is lower.
@@ -75,9 +91,14 @@ def run(
     )
 
 
-def main(horizon: int = 2000, seed: int = 0) -> WorkDistributionResult:
+def main(
+    horizon: int = 2000,
+    seed: int = 0,
+    jobs: int = 1,
+    use_cache: bool = True,
+) -> WorkDistributionResult:
     """Run and print the work distribution next to the paper's."""
-    result = run(horizon=horizon, seed=seed)
+    result = run(horizon=horizon, seed=seed, jobs=jobs, use_cache=use_cache)
     rows = [
         (
             f"DC#{i + 1}",

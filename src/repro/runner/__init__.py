@@ -1,0 +1,60 @@
+"""repro.runner — the unified run-execution engine.
+
+Every paper artifact is an embarrassingly parallel fan-out of
+independent simulation runs.  This package makes that structure
+explicit: describe each run as a declarative
+:class:`~repro.runner.spec.RunSpec`, hand the list to
+:func:`~repro.runner.engine.run_many`, and get ordered
+:class:`~repro.runner.result.RunResult` values back — executed
+in-process, across a process pool (``jobs=N``, bit-identical to
+serial), or loaded from the content-addressed on-disk cache
+(:class:`~repro.runner.cache.ResultCache` under ``.repro_cache/``).
+
+See ``docs/RUNNER.md`` for the spec format, cache layout and the
+determinism guarantees; the staticcheck rule GF006 keeps experiment
+modules on this path.
+"""
+
+from repro.runner.cache import (
+    DEFAULT_CACHE_DIR,
+    SCHEMA_TAG,
+    ResultCache,
+    cache_key,
+    default_cache,
+    scenario_fingerprint,
+)
+from repro.runner.collect import (
+    collect_value,
+    scenario_collector_names,
+    simulation_collector_names,
+)
+from repro.runner.engine import (
+    RunnerStats,
+    reset_stats,
+    run_many,
+    run_spec,
+    runner_stats,
+)
+from repro.runner.result import RunResult
+from repro.runner.spec import SCENARIO_KINDS, RunSpec, ScenarioSpec
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "SCENARIO_KINDS",
+    "SCHEMA_TAG",
+    "ResultCache",
+    "RunResult",
+    "RunSpec",
+    "RunnerStats",
+    "ScenarioSpec",
+    "cache_key",
+    "collect_value",
+    "default_cache",
+    "reset_stats",
+    "run_many",
+    "run_spec",
+    "runner_stats",
+    "scenario_collector_names",
+    "scenario_fingerprint",
+    "simulation_collector_names",
+]

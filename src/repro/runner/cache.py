@@ -1,0 +1,173 @@
+"""Content-addressed on-disk result cache for the run engine.
+
+Layout::
+
+    .repro_cache/
+        <schema-tag>/
+            <key[:2]>/<key>.json     # one RunResult payload per spec
+
+The key is the SHA-256 of the spec's canonical description (plus, for
+runs on a pre-built scenario object, a content fingerprint of its
+arrays and cluster configuration), so *any* change to the inputs — a
+different seed, horizon, scheduler kwarg, fault schedule or collect
+list — misses cleanly.  The schema tag versions the *payload format*:
+bumping :data:`SCHEMA_TAG` orphans every old entry at once, which is
+the escape hatch when the summary or series encoding changes shape.
+
+The cache is advisory and crash-safe: entries are written to a
+temporary file and atomically renamed, unreadable entries are treated
+as misses, and ``repro ... --no-cache`` (or ``REPRO_NO_CACHE=1``)
+bypasses it entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.runner.result import RunResult
+from repro.runner.spec import RunSpec, canonical_json
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "SCHEMA_TAG",
+    "ResultCache",
+    "cache_key",
+    "default_cache",
+    "scenario_fingerprint",
+]
+
+#: Payload-format version; bump when RunResult's encoding changes.
+SCHEMA_TAG = "runner-v1"
+
+#: Default cache root (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+def _cluster_signature(cluster) -> str:
+    """A stable text fingerprint of everything a simulation consumes."""
+    parts = []
+    for sc in cluster.server_classes:
+        parts.append(f"sc|{sc.name}|{sc.speed!r}|{sc.active_power!r}")
+    for dc in cluster.datacenters:
+        parts.append(
+            f"dc|{dc.name}|{np.asarray(dc.max_servers).tolist()!r}"
+            f"|{dc.memory_capacity!r}|{dc.ingress_cost!r}"
+        )
+    for jt in cluster.job_types:
+        parts.append(
+            f"jt|{jt.name}|{jt.demand!r}|{tuple(jt.eligible_dcs)!r}|{jt.account}"
+            f"|{jt.max_arrivals!r}|{jt.max_route!r}|{jt.max_service!r}"
+        )
+    for account in cluster.accounts:
+        parts.append(f"acc|{account.name}|{account.fair_share!r}")
+    return ";".join(parts)
+
+
+def scenario_fingerprint(scenario) -> str:
+    """Content hash of a pre-built scenario (arrays + cluster config)."""
+    digest = hashlib.sha256()
+    digest.update(_cluster_signature(scenario.cluster).encode("utf-8"))
+    for array in (scenario.arrivals, scenario.availability, scenario.prices):
+        arr = np.ascontiguousarray(array, dtype=np.float64)
+        digest.update(repr(arr.shape).encode("utf-8"))
+        digest.update(arr.tobytes())
+    return digest.hexdigest()
+
+
+def cache_key(spec: RunSpec, scenario=None) -> str:
+    """The content address for *spec*, honoring a scenario override."""
+    payload = spec.describe()
+    if scenario is not None:
+        payload["scenario"] = {"inline": scenario_fingerprint(scenario)}
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Spec hash -> :class:`RunResult` JSON artifacts under *root*."""
+
+    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR, schema: str = SCHEMA_TAG):
+        self.root = Path(root)
+        self.schema = schema
+
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        """Where the entry for *key* lives (whether or not it exists)."""
+        return self.root / self.schema / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> RunResult | None:
+        """The cached result for *key*, or ``None`` on any kind of miss."""
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if payload.get("schema") != self.schema or payload.get("key") != key:
+            return None
+        try:
+            return RunResult.from_payload(payload)
+        except (KeyError, TypeError, ValueError):
+            # A malformed or stale-format entry is just a miss.
+            return None
+
+    def store(self, key: str, result: RunResult) -> None:
+        """Atomically persist *result* under *key*."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = result.to_payload()
+        payload["schema"] = self.schema
+        payload["key"] = key
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload), encoding="utf-8")
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------
+    def entries(self) -> list:
+        """Paths of every entry under the current schema, sorted."""
+        base = self.root / self.schema
+        if not base.is_dir():
+            return []
+        return sorted(base.rglob("*.json"))
+
+    def info(self) -> dict:
+        """Entry count and total size (for ``repro cache info``)."""
+        entries = self.entries()
+        return {
+            "root": str(self.root),
+            "schema": self.schema,
+            "entries": len(entries),
+            "bytes": sum(path.stat().st_size for path in entries),
+        }
+
+    def clear(self) -> int:
+        """Delete every entry (all schemas); return how many were removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return 0
+        for path in sorted(self.root.rglob("*.json")):
+            path.unlink()
+            removed += 1
+        # Prune now-empty shard directories, leaving the root in place.
+        for directory in sorted(
+            (p for p in self.root.rglob("*") if p.is_dir()), reverse=True
+        ):
+            try:
+                directory.rmdir()
+            except OSError:
+                pass
+        return removed
+
+
+def default_cache() -> ResultCache | None:
+    """The standard cache, honoring the environment escape hatches.
+
+    ``REPRO_CACHE_DIR`` relocates the cache root; ``REPRO_NO_CACHE=1``
+    disables caching everywhere (returns ``None``).
+    """
+    if os.environ.get("REPRO_NO_CACHE", "").strip() not in ("", "0"):
+        return None
+    return ResultCache(os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR)

@@ -1,0 +1,137 @@
+"""Named result collectors: what a :class:`RunSpec` may ask a run for.
+
+The runner returns every run's :class:`SimulationSummary` by default;
+everything else an experiment needs — running-average curves, per-site
+work series, delay percentiles, scenario statistics — is requested by
+name through ``RunSpec.collect`` and extracted *inside* the executing
+process, so only small JSON-friendly values cross the process boundary
+or land in the cache.
+
+Two namespaces:
+
+* plain names (``"energy_series"``, ``"dc_delay_series:0"``, ...)
+  read the finished :class:`~repro.simulation.simulator.SimulationResult`
+  and require a scheduler;
+* ``"scenario.*"`` names read the materialized scenario and work for
+  scenario-only specs too (``scheduler=None``), which is how Table I
+  and Fig. 1 route through the runner without simulating.
+
+A trailing ``:<int>`` argument parametrizes a collector (the data
+center index of ``dc_delay_series``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+__all__ = [
+    "collect_value",
+    "scenario_collector_names",
+    "simulation_collector_names",
+    "validate_collect",
+]
+
+
+# ----------------------------------------------------------------------
+# Simulation collectors: (SimulationResult, arg) -> value
+# ----------------------------------------------------------------------
+def _delay_percentiles(result, arg):
+    stats = result.queues.stats
+    return {
+        "mean": float(stats.mean_dc_delay()),
+        "p50": float(stats.dc_delay_percentile(0.50)),
+        "p95": float(stats.dc_delay_percentile(0.95)),
+        "p99": float(stats.dc_delay_percentile(0.99)),
+    }
+
+
+_SIM_COLLECTORS: dict = {
+    "energy_series": lambda result, arg: result.metrics.avg_energy_series(),
+    "fairness_series": lambda result, arg: result.metrics.avg_fairness_series(),
+    "combined_series": lambda result, arg: result.metrics.avg_combined_series(),
+    "dc_delay_series": lambda result, arg: result.metrics.avg_dc_delay_series(arg),
+    "front_delay_series": lambda result, arg: result.metrics.avg_front_delay_series(),
+    "work_per_dc_series": lambda result, arg: result.metrics.work_per_dc_series(),
+    "delay_percentiles": _delay_percentiles,
+}
+
+#: Collectors that require the ``:<int>`` argument.
+_NEEDS_ARG = {"dc_delay_series"}
+
+
+# ----------------------------------------------------------------------
+# Scenario collectors: (Scenario, arg) -> value
+# ----------------------------------------------------------------------
+def _org_work(scenario, arg):
+    from repro.workloads.cosmos import CosmosWorkload
+
+    return CosmosWorkload(scenario.cluster).work_by_account(scenario.arrivals)
+
+
+_SCENARIO_COLLECTORS: dict = {
+    "scenario.prices": lambda scenario, arg: scenario.prices,
+    "scenario.price_mean": lambda scenario, arg: scenario.prices.mean(axis=0),
+    "scenario.price_max": lambda scenario, arg: float(scenario.prices.max()),
+    "scenario.arrival_work": lambda scenario, arg: scenario.arrival_work(),
+    "scenario.org_work": _org_work,
+}
+
+
+def simulation_collector_names() -> list:
+    """Names readable from a finished simulation, sorted."""
+    return sorted(_SIM_COLLECTORS)
+
+
+def scenario_collector_names() -> list:
+    """Names readable from the scenario alone, sorted."""
+    return sorted(_SCENARIO_COLLECTORS)
+
+
+def _parse(name: str) -> tuple:
+    base, _, arg = name.partition(":")
+    if not arg:
+        return base, None
+    try:
+        return base, int(arg)
+    except ValueError:
+        raise ValueError(
+            f"collector argument in {name!r} must be an integer index"
+        ) from None
+
+
+def validate_collect(names: Sequence[str], simulated: bool = True) -> None:
+    """Reject unknown/malformed collect names at spec-construction time."""
+    for name in names:
+        base, arg = _parse(name)
+        if base in _SCENARIO_COLLECTORS:
+            continue
+        if base not in _SIM_COLLECTORS:
+            raise ValueError(
+                f"unknown collector {name!r}; simulation collectors: "
+                f"{simulation_collector_names()}, scenario collectors: "
+                f"{scenario_collector_names()}"
+            )
+        if not simulated:
+            raise ValueError(
+                f"collector {name!r} needs a simulation, but the spec is "
+                "scenario-only (scheduler=None)"
+            )
+        if base in _NEEDS_ARG and arg is None:
+            raise ValueError(f"collector {base!r} needs an index, e.g. {base!r}+':0'")
+
+
+def collect_value(name: str, scenario, result) -> Any:
+    """Evaluate one collector against a materialized run."""
+    base, arg = _parse(name)
+    if base in _SCENARIO_COLLECTORS:
+        return _SCENARIO_COLLECTORS[base](scenario, arg)
+    if result is None:
+        raise ValueError(
+            f"collector {name!r} needs a simulation result (scheduler=None run)"
+        )
+    value = _SIM_COLLECTORS[base](result, arg)
+    if isinstance(value, np.ndarray):
+        return np.asarray(value, dtype=np.float64)
+    return value

@@ -1,0 +1,209 @@
+"""The execution engine: ``run_many`` over specs, serial or process-pool.
+
+Every simulation-launching layer of the package — the experiment
+modules, ``repro run``/``compare``/``sweep-v``, the tradeoff sweeps —
+reduces to the same call::
+
+    results = run_many(specs, jobs=4, cache=default_cache())
+
+Guarantees:
+
+* **Order** — results come back in spec order regardless of ``jobs``.
+* **Determinism** — a worker rebuilds the scenario, scheduler and cost
+  model from the spec (numpy seeding is per-spec), so ``jobs=N``
+  summaries are bit-identical to ``jobs=1``; the jobs=1 path runs
+  in-process with no executor at all.
+* **Caching** — with a :class:`~repro.runner.cache.ResultCache`,
+  completed specs are loaded instead of re-run and fresh results are
+  stored.  Runs carrying non-declarative overrides (a live scheduler or
+  cost-model object) are never cached; with ``REPRO_CONTRACTS=1`` the
+  cache is bypassed so contract observers actually execute.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro._contracts import contracts_enabled, queue_bound_observer
+from repro._validation import require_integer
+from repro.runner.cache import ResultCache, cache_key
+from repro.runner.collect import collect_value
+from repro.runner.result import RunResult
+from repro.runner.spec import RunSpec
+
+__all__ = ["RunnerStats", "reset_stats", "run_many", "run_spec", "runner_stats"]
+
+
+@dataclass
+class RunnerStats:
+    """Cumulative engine counters since the last :func:`reset_stats`."""
+
+    executed: int = 0
+    cache_hits: int = 0
+    jobs: int = 1
+
+    def render(self) -> str:
+        return f"runner: {self.executed} executed, {self.cache_hits} cached (jobs={self.jobs})"
+
+
+_STATS = RunnerStats()
+
+
+def runner_stats() -> RunnerStats:
+    """The process-wide counters (the CLI prints these after a command)."""
+    return _STATS
+
+
+def reset_stats() -> None:
+    """Zero the process-wide counters."""
+    _STATS.executed = 0
+    _STATS.cache_hits = 0
+    _STATS.jobs = 1
+
+
+# ----------------------------------------------------------------------
+# Worker body — module-level so it pickles under any start method.
+# ----------------------------------------------------------------------
+def _execute_task(task: tuple) -> RunResult:
+    """Materialize and run one spec; returns the picklable result.
+
+    *task* is ``(key, spec, scenario, scheduler, cost_model)`` where the
+    last three are optional overrides (``None`` = build from the spec).
+    """
+    key, spec, scenario, scheduler, cost_model = task
+    if scenario is None:
+        if spec.scenario is None:
+            raise ValueError(
+                "spec has no scenario reference and no scenario override"
+            )
+        scenario = spec.scenario.materialize()
+
+    result = None
+    if spec.scheduler is not None or scheduler is not None:
+        from repro.core.objective import CostModel
+        from repro.simulation.simulator import Simulator
+
+        if scheduler is None:
+            from repro.schedulers import build_scheduler
+
+            scheduler = build_scheduler(
+                spec.scheduler, scenario.cluster, **dict(spec.scheduler_kwargs)
+            )
+        if cost_model is None:
+            cost_model = CostModel(beta=spec.cost_beta)
+        injector = None
+        if spec.faults is not None and not spec.faults.is_empty:
+            from repro.faults.injector import FaultInjector
+
+            injector = FaultInjector(scenario.cluster, spec.faults)
+        observers = []
+        if spec.queue_bound is not None:
+            observers.append(queue_bound_observer(spec.queue_bound))
+        result = Simulator(
+            scenario,
+            scheduler,
+            cost_model=cost_model,
+            injector=injector,
+            observers=observers,
+        ).run(spec.horizon)
+
+    series = {
+        name: collect_value(name, scenario, result) for name in spec.collect
+    }
+    summary = result.summary if result is not None else None
+    return RunResult(key=key, summary=summary, series=series)
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+def run_many(
+    specs: Sequence[RunSpec],
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    scenario=None,
+    schedulers: Sequence | None = None,
+    cost_models: Sequence | None = None,
+    progress: bool = False,
+) -> list:
+    """Execute *specs* and return one :class:`RunResult` per spec, in order.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (default) executes in-process — no
+        executor, no pickling — and is the reference behavior the
+        parallel path is tested bit-identical against.
+    cache:
+        Optional result cache; hits skip execution entirely.
+    scenario:
+        Optional pre-built scenario shared by every spec (overrides
+        ``spec.scenario``); cached under its content fingerprint.
+    schedulers / cost_models:
+        Optional per-spec override sequences (``None`` entries fall
+        back to the spec).  Overridden runs are executed but not cached
+        — a live object has no stable content address.
+    progress:
+        Print a one-line cache/execution report to stderr when done.
+    """
+    specs = list(specs)
+    require_integer(jobs, "jobs", minimum=1)
+    if schedulers is not None and len(schedulers) != len(specs):
+        raise ValueError("schedulers override must match specs in length")
+    if cost_models is not None and len(cost_models) != len(specs):
+        raise ValueError("cost_models override must match specs in length")
+    if contracts_enabled():
+        # Cache hits would skip the run entirely, silently skipping the
+        # runtime contracts the caller asked for; always execute.
+        cache = None
+
+    results: dict = {}
+    pending: list = []
+    for index, spec in enumerate(specs):
+        scheduler = schedulers[index] if schedulers is not None else None
+        cost_model = cost_models[index] if cost_models is not None else None
+        cacheable = scheduler is None and cost_model is None
+        key = cache_key(spec, scenario) if cacheable else ""
+        if cache is not None and cacheable:
+            hit = cache.load(key)
+            if hit is not None:
+                results[index] = hit.as_cached()
+                continue
+        pending.append((index, (key, spec, scenario, scheduler, cost_model)))
+
+    if pending:
+        if jobs == 1 or len(pending) == 1:
+            fresh = [_execute_task(task) for _, task in pending]
+        else:
+            workers = min(jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                fresh = list(pool.map(_execute_task, [task for _, task in pending]))
+        for (index, task), result in zip(pending, fresh):
+            results[index] = result
+            if cache is not None and task[0]:
+                cache.store(task[0], result)
+
+    hits = len(specs) - len(pending)
+    _STATS.executed += len(pending)
+    _STATS.cache_hits += hits
+    _STATS.jobs = jobs
+    if progress:
+        import sys
+
+        print(
+            f"[repro.runner] {len(specs)} spec(s): {hits} cached, "
+            f"{len(pending)} executed (jobs={jobs})",
+            file=sys.stderr,
+        )
+    return [results[index] for index in range(len(specs))]
+
+
+def run_spec(
+    spec: RunSpec,
+    cache: ResultCache | None = None,
+    scenario=None,
+) -> RunResult:
+    """Convenience wrapper: execute a single spec in-process."""
+    return run_many([spec], jobs=1, cache=cache, scenario=scenario)[0]

@@ -1,0 +1,97 @@
+"""The runner's result value and its exact JSON round-trip.
+
+A :class:`RunResult` is deliberately *smaller* than a full
+:class:`~repro.simulation.simulator.SimulationResult`: the summary plus
+the series the spec asked for.  That keeps results cheap to ship across
+process boundaries and makes them losslessly serializable — ``json``
+emits floats with ``repr`` (shortest round-trip) since Python 3.1, so a
+result loaded from the cache compares bit-identical to the freshly
+computed one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.simulation.metrics import SimulationSummary
+
+__all__ = ["RunResult"]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """One executed (or cache-loaded) :class:`~repro.runner.spec.RunSpec`.
+
+    Attributes
+    ----------
+    key:
+        The content address the run is cached under.
+    summary:
+        End-of-run aggregates, or ``None`` for scenario-only specs.
+    series:
+        Collected values keyed by collector name: numpy arrays for
+        series, floats for scalars, str->float mappings for percentile
+        bundles.
+    cached:
+        True when this result was loaded from the on-disk cache rather
+        than executed.
+    """
+
+    key: str
+    summary: SimulationSummary | None
+    series: Mapping[str, Any]
+    cached: bool = False
+
+    def as_cached(self) -> "RunResult":
+        """The same result marked as a cache hit."""
+        return replace(self, cached=True)
+
+    # ------------------------------------------------------------------
+    # Exact JSON round-trip (cache payload)
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        """A JSON-encodable payload that decodes bit-identically."""
+        return {
+            "key": self.key,
+            "summary": None if self.summary is None else self.summary.as_dict(),
+            "series": {
+                name: _encode_value(value) for name, value in self.series.items()
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "RunResult":
+        """Rebuild a result from :meth:`to_payload` output."""
+        raw_summary = payload["summary"]
+        summary = None
+        if raw_summary is not None:
+            fields = dict(raw_summary)
+            fields["avg_dc_delay"] = tuple(fields["avg_dc_delay"])
+            fields["avg_work_per_dc"] = tuple(fields["avg_work_per_dc"])
+            summary = SimulationSummary(**fields)
+        series = {
+            name: _decode_value(value) for name, value in payload["series"].items()
+        }
+        return cls(key=payload["key"], summary=summary, series=series, cached=False)
+
+
+def _encode_value(value: Any) -> dict:
+    if isinstance(value, np.ndarray):
+        return {"kind": "array", "data": np.asarray(value, dtype=np.float64).tolist()}
+    if isinstance(value, Mapping):
+        return {"kind": "mapping", "data": {k: float(v) for k, v in value.items()}}
+    return {"kind": "scalar", "data": float(value)}
+
+
+def _decode_value(encoded: Mapping[str, Any]) -> Any:
+    kind = encoded["kind"]
+    if kind == "array":
+        return np.asarray(encoded["data"], dtype=np.float64)
+    if kind == "mapping":
+        return dict(encoded["data"])
+    if kind == "scalar":
+        return float(encoded["data"])
+    raise ValueError(f"unknown encoded value kind {kind!r}")

@@ -176,10 +176,33 @@ def run_comparison(
     schedulers: list,
     cost_model: CostModel | None = None,
     horizon: int | None = None,
+    jobs: int = 1,
 ) -> dict:
-    """Run several schedulers on the same scenario; return name -> result."""
-    results = {}
-    for scheduler in schedulers:
-        simulator = Simulator(scenario, scheduler, cost_model=cost_model)
-        results[scheduler.name] = simulator.run(horizon)
-    return results
+    """Run several schedulers on the same scenario; return name -> result.
+
+    Routed through :func:`repro.runner.run_many` with the scheduler
+    instances as per-spec overrides, so ``jobs > 1`` fans the
+    comparison out across processes (the instances must pickle).  Each
+    value is a :class:`repro.runner.RunResult` — use ``.summary``.
+    """
+    # Imported here: repro.runner sits above the simulation layer.
+    from repro.runner import RunSpec, run_many
+
+    schedulers = list(schedulers)
+    specs = [
+        RunSpec(scenario=None, scheduler=None, horizon=horizon)
+        for _ in schedulers
+    ]
+    cost_models = None
+    if cost_model is not None:
+        cost_models = [cost_model] * len(schedulers)
+    results = run_many(
+        specs,
+        jobs=jobs,
+        scenario=scenario,
+        schedulers=schedulers,
+        cost_models=cost_models,
+    )
+    return {
+        scheduler.name: result for scheduler, result in zip(schedulers, results)
+    }

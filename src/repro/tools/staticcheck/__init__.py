@@ -16,6 +16,8 @@ GF004    Validation consistency: parameter checks go through
          :mod:`repro._validation`, not ``assert`` or hand-rolled ifs.
 GF005    Float equality: no ``==``/``!=`` on float expressions in
          objective/constraint code — use ``math.isclose``/``np.isclose``.
+GF006    Runner routing: experiment/analysis modules never instantiate
+         ``Simulator`` directly — runs go through :mod:`repro.runner`.
 =======  ==============================================================
 
 Findings can be suppressed per line with ``# staticcheck: ignore[GF00X]``

@@ -454,12 +454,56 @@ class FloatEqualityRule(Rule):
         return None
 
 
+# ----------------------------------------------------------------------
+# GF006 — runner routing
+# ----------------------------------------------------------------------
+class RunnerRoutingRule(Rule):
+    """Experiment/analysis code launches runs through :mod:`repro.runner`.
+
+    A direct ``Simulator(...)`` call in an experiment sidesteps the run
+    engine — no per-spec seeding discipline, no ``--jobs`` fan-out, no
+    result caching, and the run's identity never gets a content
+    address.  Describing the run as a :class:`~repro.runner.spec.RunSpec`
+    and executing it with ``run_many``/``run_spec`` keeps every paper
+    artifact on the one tested execution path.
+    """
+
+    id = "GF006"
+    title = "experiment/analysis code routes runs through repro.runner"
+    rationale = (
+        "direct Simulator(...) calls bypass the runner's determinism, "
+        "fan-out and caching guarantees; describe the run as a RunSpec "
+        "and execute it with run_many/run_spec."
+    )
+    scope = ("experiments/", "analysis/")
+
+    _SIMULATOR_PATHS = {
+        "repro.simulation.simulator.Simulator",
+        "repro.simulation.Simulator",
+        "repro.Simulator",
+    }
+
+    def check(self, ctx: "ModuleContext") -> Iterator[Violation]:
+        imports = _import_map(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _canonical_call(node, imports) in self._SIMULATOR_PATHS:
+                yield (
+                    node,
+                    "direct Simulator(...) call in experiment/analysis "
+                    "code; describe the run as a repro.runner.RunSpec and "
+                    "execute it with run_many/run_spec",
+                )
+
+
 RULES: tuple[Rule, ...] = (
     DeterminismRule(),
     QueueHygieneRule(),
     SchedulerConformanceRule(),
     ValidationConsistencyRule(),
     FloatEqualityRule(),
+    RunnerRoutingRule(),
 )
 
 RULE_REGISTRY: dict = {rule.id: rule for rule in RULES}

@@ -1,0 +1,13 @@
+"""GF006 self-test fixture: experiments instantiating Simulator directly."""
+
+from repro.simulation import Simulator as Sim
+from repro.simulation.simulator import Simulator
+
+
+def run_direct(scenario, scheduler, horizon):
+    sim = Simulator(scenario, scheduler)  # GF006: bypasses repro.runner
+    return sim.run(horizon)
+
+
+def run_aliased(scenario, scheduler):
+    return Sim(scenario, scheduler).run()  # GF006: aliased import, same class

@@ -1,0 +1,15 @@
+"""GF006 self-test fixture: experiment code routed through repro.runner."""
+
+from repro.runner import RunSpec, ScenarioSpec, run_many
+
+
+def run_sweep(v_values, horizon, seed):
+    specs = [
+        RunSpec(
+            scenario=ScenarioSpec(kind="paper", horizon=horizon, seed=seed),
+            scheduler="grefar",
+            scheduler_kwargs={"v": float(v)},
+        )
+        for v in v_values
+    ]
+    return run_many(specs, jobs=2)

@@ -1,6 +1,6 @@
 """Self-tests for the project static checker (repro.tools.staticcheck).
 
-Each rule GF001-GF005 gets one deliberately-bad fixture it must flag and
+Each rule GF001-GF006 gets one deliberately-bad fixture it must flag and
 one clean fixture it must pass; the fixtures live in
 ``tests/staticcheck_fixtures/`` and are parsed, never imported.
 """
@@ -30,6 +30,7 @@ RULE_CASES = [
     ("GF003", "gf003_bad.py", 3, "gf003_good.py"),
     ("GF004", "gf004_bad.py", 2, "gf004_good.py"),
     ("GF005", "gf005_bad.py", 2, "gf005_good.py"),
+    ("GF006", "gf006_bad.py", 2, "gf006_good.py"),
 ]
 
 
@@ -90,7 +91,7 @@ def test_unknown_rule_selection_raises():
 
 
 def test_rule_ids_registry():
-    assert rule_ids() == ["GF001", "GF002", "GF003", "GF004", "GF005"]
+    assert rule_ids() == ["GF001", "GF002", "GF003", "GF004", "GF005", "GF006"]
 
 
 # ----------------------------------------------------------------------
