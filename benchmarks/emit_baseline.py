@@ -1,0 +1,90 @@
+"""Emit a machine-tagged benchmark baseline (``BENCH_<date>.json``).
+
+Profiles the standard configurations — the paper scenario with the
+greedy-backed GreFar, the fairness (beta > 0) QP path, and the small
+scenario — through :func:`repro.obs.profile.profile_run` and writes the
+schema-versioned baseline via :mod:`repro.obs.baseline`.  Run it after
+any hot-path change and commit nothing: the artifact is a local/CI
+reference point, compared by eye or by tooling, not a test fixture.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/emit_baseline.py [--output PATH]
+        [--horizon 200] [--seed 0] [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from repro.core.grefar import GreFarScheduler
+from repro.obs.baseline import validate_baseline_file, write_baseline
+from repro.obs.profile import profile_run
+from repro.scenarios import paper_scenario, small_scenario
+
+
+def build_reports(horizon: int, seed: int, quick: bool) -> list:
+    """One ProfileReport per standard configuration."""
+    small = small_scenario(horizon=horizon, seed=seed)
+    reports = [
+        profile_run(
+            small,
+            GreFarScheduler(small.cluster, v=10.0),
+            scenario_name="small",
+        )
+    ]
+    if quick:
+        return reports
+    paper = paper_scenario(horizon=horizon, seed=seed)
+    reports.append(
+        profile_run(
+            paper,
+            GreFarScheduler(paper.cluster, v=7.5),
+            scenario_name="paper",
+        )
+    )
+    reports.append(
+        profile_run(
+            paper,
+            GreFarScheduler(paper.cluster, v=7.5, beta=100.0),
+            scenario_name="paper-beta",
+        )
+    )
+    return reports
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", default=None, help="baseline path (default BENCH_<date>.json)"
+    )
+    parser.add_argument("--horizon", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small scenario only (CI smoke mode)",
+    )
+    args = parser.parse_args(argv)
+
+    reports = build_reports(args.horizon, args.seed, args.quick)
+    path = write_baseline(reports, path=args.output)
+    errors = validate_baseline_file(path)
+    if errors:
+        for error in errors:
+            print(f"{path}: {error}")
+        return 1
+    for report in reports:
+        print(
+            f"{report.scenario}: {report.horizon} slots in "
+            f"{report.wall_seconds:.4f}s ({report.slots_per_second:.0f} slots/s)"
+        )
+    print(f"baseline: {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -8,6 +8,7 @@ Usage (also available as ``python -m repro.cli``)::
     repro sweep-v --values 0.1,2.5,7.5,20     # the Fig. 2 sweep
     repro experiment fig2 --horizon 2000      # regenerate a paper figure
     repro resilience --dc 1 --start 150 --duration 60   # outage drill
+    repro profile --scenario default --horizon 200      # hot-path table
     repro cache info                          # result-cache statistics
     repro lint src/repro --format json        # project static checker
 
@@ -350,9 +351,14 @@ def _cmd_cache(args) -> int:
         return 0
     if args.action == "info":
         info = cache.info()
+        session = info["session"]
         print(
             f"cache at {info['root']} (schema {info['schema']}): "
             f"{info['entries']} entries, {info['bytes']} bytes"
+        )
+        print(
+            f"session: {session['hits']} hits, {session['misses']} misses, "
+            f"{session['stores']} stores"
         )
         return 0
     removed = cache.clear()
@@ -361,7 +367,7 @@ def _cmd_cache(args) -> int:
 
 
 def _cmd_lint(args) -> int:
-    """Run the project-specific static checker (GF001-GF006)."""
+    """Run the project-specific static checker (GF001-GF007)."""
     from repro.tools.staticcheck.cli import run as staticcheck_run
     from repro.tools.staticcheck.reporters import render_rule_listing
 
@@ -369,6 +375,39 @@ def _cmd_lint(args) -> int:
         print(render_rule_listing())
         return 0
     return staticcheck_run(args.paths, fmt=args.format, select=args.select)
+
+
+def _cmd_profile(args) -> int:
+    """Profile one run with telemetry on; optionally emit a baseline."""
+    from repro.obs.baseline import write_baseline
+    from repro.obs.profile import profile_run, render_hot_path_table
+    from repro.scenarios import small_scenario
+    from repro.schedulers import build_scheduler
+
+    if args.scenario == "small":
+        scenario = small_scenario(horizon=args.horizon, seed=args.seed)
+    else:
+        # "default" is the paper scenario — the configuration every
+        # other subcommand runs.
+        scenario = paper_scenario(horizon=args.horizon, seed=args.seed)
+    scheduler = build_scheduler(
+        args.scheduler,
+        scenario.cluster,
+        **_scheduler_kwargs_from_args(args.scheduler, args),
+    )
+    report = profile_run(
+        scenario,
+        scheduler,
+        scenario_name=args.scenario,
+        trace_path=args.trace,
+    )
+    print(render_hot_path_table(report))
+    if args.trace:
+        print(f"trace: {len(report.events)} slot events -> {args.trace}")
+    if not args.no_baseline:
+        path = write_baseline([report], path=args.output)
+        print(f"baseline: {path}")
+    return 0
 
 
 def _cmd_experiment(args) -> int:
@@ -455,6 +494,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the Always and RandomRouting baselines",
     )
 
+    profile = sub.add_parser(
+        "profile", help="run with telemetry on; print the hot-path table"
+    )
+    profile.add_argument(
+        "--scenario",
+        choices=("default", "paper", "small"),
+        default="default",
+        help="which scenario to profile (default = the paper scenario)",
+    )
+    profile.add_argument("--scheduler", choices=scheduler_names(), default="grefar")
+    profile.add_argument("--v", type=float, default=7.5)
+    profile.add_argument("--beta", type=float, default=0.0)
+    profile.add_argument("--threshold", type=float, default=0.4)
+    profile.add_argument("--horizon", type=int, default=200)
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument(
+        "--trace", default=None, help="also stream per-slot trace events (JSONL)"
+    )
+    profile.add_argument(
+        "--output",
+        default=None,
+        help="baseline file path (default: BENCH_<date>.json in the cwd)",
+    )
+    profile.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="print the table only; write no BENCH_*.json",
+    )
+
     exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp.add_argument("name", help=f"one of {sorted(_EXPERIMENTS)}")
     exp.add_argument("--horizon", type=int, default=None)
@@ -483,6 +551,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "sweep-v": _cmd_sweep_v,
     "resilience": _cmd_resilience,
+    "profile": _cmd_profile,
     "experiment": _cmd_experiment,
     "cache": _cmd_cache,
     "lint": _cmd_lint,

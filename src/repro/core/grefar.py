@@ -33,6 +33,7 @@ import numpy as np
 
 from repro._validation import require_non_negative
 from repro.fairness.base import FairnessFunction
+from repro.obs.registry import metrics_registry
 from repro.fairness.quadratic import QuadraticFairness
 from repro.model.action import Action
 from repro.model.cluster import Cluster
@@ -115,7 +116,9 @@ class GreFarScheduler(Scheduler):
         state = self.prepare_state(state)
         front = queues.front
         dc = queues.dc
-        route = self._route(front, dc, state.capacities(self.cluster))
+        reg = metrics_registry()
+        with reg.span("grefar.route"):
+            route = self._route(front, dc, state.capacities(self.cluster))
         problem = self._problem(state, dc)
         h = self._solve(problem)
         return Action(route, h, problem.busy_for(h))
@@ -185,16 +188,38 @@ class GreFarScheduler(Scheduler):
             pricing=self.pricing,
         )
 
+    def select_backend(self) -> str:
+        """The solver backend name this scheduler will use for a slot."""
+        if self.solver != "auto":
+            return self.solver
+        if self.beta > 0:
+            return "qp"
+        if self.cluster.has_memory_constraints:
+            # The greedy matching is blind to the memory coupling
+            # (footnote 3); the LP handles it exactly.
+            return "lp"
+        return "greedy"
+
     def _solve(self, problem: SlotServiceProblem) -> np.ndarray:
-        if self.solver == "auto":
-            if self.beta > 0:
-                backend = solve_qp
-            elif self.cluster.has_memory_constraints:
-                # The greedy matching is blind to the memory coupling
-                # (footnote 3); the LP handles it exactly.
-                backend = solve_lp
-            else:
-                backend = solve_greedy
-        else:
-            backend = _SOLVERS[self.solver]
-        return problem.clip_feasible(backend(problem))
+        name = self.select_backend()
+        backend = _SOLVERS[name]
+        reg = metrics_registry()
+        if not reg.enabled:
+            return problem.clip_feasible(backend(problem))
+        # Instrumented path: time the solve, count the backend taken and
+        # leave a per-decision record (solver, objective, iterations) for
+        # the simulator to fold into this slot's trace event.  None of
+        # this touches the decision itself.
+        start = reg.clock()
+        h = problem.clip_feasible(backend(problem))
+        elapsed = reg.clock() - start
+        iterations = int(reg.consume_solve().get("iterations", 0))
+        reg.counter_add(f"grefar.solver.{name}")
+        reg.timer_add("grefar.solve", elapsed)
+        reg.note_solve(
+            solver=name,
+            iterations=iterations,
+            objective=float(problem.objective(h)),
+            solve_seconds=elapsed,
+        )
+        return h

@@ -36,6 +36,7 @@ import numpy as np
 from repro._contracts import checked_step
 from repro.model.action import Action
 from repro.model.cluster import Cluster
+from repro.obs.instruments import timed
 
 __all__ = ["DelayStats", "QueueNetwork"]
 
@@ -298,6 +299,7 @@ class QueueNetwork:
         return counts
 
     @checked_step
+    @timed("queues.step")
     def step(self, action: Action, arrivals: np.ndarray, t: int) -> dict:
         """Advance one slot: apply service, routing, then arrivals.
 

@@ -1,0 +1,55 @@
+"""Observability & telemetry layer: counters, timers, traces, baselines.
+
+Zero-dependency instrumentation for the reproduction's hot paths:
+
+* :mod:`repro.obs.registry` — process-local :class:`Registry` of
+  counters/timers/gauges; the hot-path **metrics** registry is a no-op
+  unless enabled (``REPRO_OBS=1`` or :func:`enable_metrics`), the
+  coarse **stats** registry (runner/cache session counters) is always
+  on.
+* :mod:`repro.obs.instruments` — ``timed``/``counted`` decorators and
+  ``span`` blocks; the only sanctioned wall-clock access outside
+  ``repro/obs/`` (staticcheck GF007).
+* :mod:`repro.obs.events` — structured per-slot
+  :class:`SlotTraceEvent` stream with in-memory and JSONL sinks.
+* :mod:`repro.obs.profile` — run one scenario under instrumentation
+  and render the hot-path table (``repro profile``).
+* :mod:`repro.obs.baseline` — schema-versioned, machine-tagged
+  ``BENCH_<date>.json`` emission and validation.
+
+``profile`` and ``baseline`` import the simulation stack, so they are
+deliberately *not* imported here: the core instrumented modules
+(``model/queues.py``, ``core/grefar.py``, ...) can import
+``repro.obs`` without a cycle.
+
+See ``docs/OBSERVABILITY.md`` for the profiling workflow.
+"""
+
+from repro.obs.events import InMemorySink, JsonlSink, SlotTraceEvent, read_trace_jsonl
+from repro.obs.instruments import counted, span, timed
+from repro.obs.registry import (
+    Registry,
+    TimerStat,
+    disable_metrics,
+    enable_metrics,
+    metrics_enabled,
+    metrics_registry,
+    stats_registry,
+)
+
+__all__ = [
+    "InMemorySink",
+    "JsonlSink",
+    "Registry",
+    "SlotTraceEvent",
+    "TimerStat",
+    "counted",
+    "disable_metrics",
+    "enable_metrics",
+    "metrics_enabled",
+    "metrics_registry",
+    "read_trace_jsonl",
+    "span",
+    "stats_registry",
+    "timed",
+]

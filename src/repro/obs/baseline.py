@@ -1,0 +1,222 @@
+"""Benchmark-baseline pipeline: schema-versioned ``BENCH_<date>.json``.
+
+A baseline file freezes what :func:`repro.obs.profile.profile_run`
+measured on one machine on one day, so later sessions (and the CI
+``obs`` job) can diff performance against a known-good point instead of
+a vibe.  The payload is deliberately boring JSON:
+
+* ``schema`` — :data:`BENCH_SCHEMA`; bump it when the shape changes so
+  stale baselines fail validation loudly instead of comparing garbage.
+* ``generated`` — ISO date stamp of when the numbers were taken.
+* ``machine`` — platform tag (wall-clock numbers are meaningless
+  without knowing what hardware produced them).
+* ``runs`` — one entry per profiled configuration
+  (:meth:`ProfileReport.to_dict`).
+
+``python -m repro.obs.baseline --validate BENCH_*.json`` checks files
+against the schema and exits non-zero on the first invalid one.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from datetime import date
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "baseline_payload",
+    "default_baseline_path",
+    "machine_tag",
+    "validate_baseline",
+    "validate_baseline_file",
+    "write_baseline",
+]
+
+#: Payload-format version; bump when the baseline shape changes.
+BENCH_SCHEMA = "repro-bench-v1"
+
+_MACHINE_KEYS = ("system", "release", "machine", "processor", "python", "numpy")
+_RUN_REQUIRED = (
+    "scenario",
+    "scheduler",
+    "horizon",
+    "wall_seconds",
+    "slots_per_second",
+    "timers",
+    "counters",
+)
+
+
+def machine_tag() -> dict:
+    """A stable description of the host the numbers were taken on."""
+    return {
+        "system": platform.system(),
+        "release": platform.release(),
+        "machine": platform.machine(),
+        "processor": platform.processor(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+
+
+def baseline_payload(reports: Sequence, generated: Optional[str] = None) -> dict:
+    """The full baseline document for *reports* (ProfileReport objects)."""
+    if not reports:
+        raise ValueError("a baseline needs at least one profiled run")
+    return {
+        "schema": BENCH_SCHEMA,
+        "generated": generated if generated is not None else date.today().isoformat(),
+        "machine": machine_tag(),
+        "runs": [report.to_dict() for report in reports],
+    }
+
+
+def default_baseline_path(directory: str | Path = ".") -> Path:
+    """``<directory>/BENCH_<today>.json``."""
+    return Path(directory) / f"BENCH_{date.today().isoformat()}.json"
+
+
+def write_baseline(
+    reports: Sequence,
+    path: str | Path | None = None,
+    directory: str | Path = ".",
+) -> Path:
+    """Validate and write a baseline file; return its path."""
+    payload = baseline_payload(reports)
+    errors = validate_baseline(payload)
+    if errors:
+        # A write path that can emit an invalid artifact is worse than
+        # no pipeline at all; refuse.
+        raise ValueError("refusing to write invalid baseline: " + "; ".join(errors))
+    target = Path(path) if path is not None else default_baseline_path(directory)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return target
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_baseline(payload) -> List[str]:
+    """Every way *payload* deviates from :data:`BENCH_SCHEMA` (empty = valid)."""
+    errors: List[str] = []
+    if not isinstance(payload, dict):
+        return ["payload is not a JSON object"]
+    if payload.get("schema") != BENCH_SCHEMA:
+        errors.append(
+            f"schema is {payload.get('schema')!r}, expected {BENCH_SCHEMA!r}"
+        )
+    if not isinstance(payload.get("generated"), str) or not payload.get("generated"):
+        errors.append("'generated' must be a non-empty date string")
+    machine = payload.get("machine")
+    if not isinstance(machine, dict):
+        errors.append("'machine' must be an object")
+    else:
+        for key in _MACHINE_KEYS:
+            if not isinstance(machine.get(key), str):
+                errors.append(f"machine.{key} must be a string")
+    runs = payload.get("runs")
+    if not isinstance(runs, list) or not runs:
+        errors.append("'runs' must be a non-empty list")
+        return errors
+    for index, run in enumerate(runs):
+        errors.extend(_validate_run(run, f"runs[{index}]"))
+    return errors
+
+
+def _validate_run(run, where: str) -> List[str]:
+    errors: List[str] = []
+    if not isinstance(run, dict):
+        return [f"{where} is not an object"]
+    for key in _RUN_REQUIRED:
+        if key not in run:
+            errors.append(f"{where}.{key} is missing")
+    if errors:
+        return errors
+    if not isinstance(run["scenario"], str) or not isinstance(run["scheduler"], str):
+        errors.append(f"{where}: scenario/scheduler must be strings")
+    if not isinstance(run["horizon"], int) or run["horizon"] <= 0:
+        errors.append(f"{where}.horizon must be a positive integer")
+    for key in ("wall_seconds", "slots_per_second"):
+        if not _is_number(run[key]) or run[key] < 0:
+            errors.append(f"{where}.{key} must be a non-negative number")
+    timers = run["timers"]
+    if not isinstance(timers, dict):
+        errors.append(f"{where}.timers must be an object")
+    else:
+        for name, stat in timers.items():
+            if (
+                not isinstance(stat, dict)
+                or not isinstance(stat.get("calls"), int)
+                or stat["calls"] < 0
+                or not _is_number(stat.get("total_seconds"))
+                or stat["total_seconds"] < 0
+            ):
+                errors.append(
+                    f"{where}.timers[{name!r}] must have calls (int >= 0) "
+                    "and total_seconds (number >= 0)"
+                )
+    counters = run["counters"]
+    if not isinstance(counters, dict) or not all(
+        _is_number(value) for value in counters.values()
+    ):
+        errors.append(f"{where}.counters must map names to numbers")
+    return errors
+
+
+def validate_baseline_file(path: str | Path) -> List[str]:
+    """Validation errors for the baseline file at *path* (empty = valid)."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as exc:
+        return [f"cannot read {path}: {exc}"]
+    except ValueError as exc:
+        return [f"{path} is not valid JSON: {exc}"]
+    return validate_baseline(payload)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro.obs.baseline --validate BENCH_*.json``"""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.baseline",
+        description="validate benchmark-baseline files against "
+        f"the {BENCH_SCHEMA} schema",
+    )
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        required=True,
+        help="check each file against the baseline schema",
+    )
+    parser.add_argument("paths", nargs="+", help="BENCH_*.json files to check")
+    args = parser.parse_args(argv)
+
+    status = 0
+    for path in args.paths:
+        errors = validate_baseline_file(path)
+        if errors:
+            status = 1
+            for error in errors:
+                print(f"{path}: {error}")
+        else:
+            print(f"{path}: OK ({BENCH_SCHEMA})")
+    return status
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""Instrumentation helpers: ``timed``/``counted`` decorators and ``span``.
+
+These are the only sanctioned ways for code outside ``repro/obs/`` to
+measure wall-clock time (staticcheck rule GF007).  All three helpers
+resolve the registry *at call time*, so enabling telemetry mid-process
+(``repro profile``, tests) takes effect without re-importing anything,
+and all three reduce to a single ``enabled`` attribute check when
+telemetry is off.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable, Optional, TypeVar, cast
+
+from repro.obs.registry import Registry, metrics_registry
+
+__all__ = ["counted", "span", "timed"]
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+def timed(name: str, registry: Optional[Registry] = None) -> Callable[[F], F]:
+    """Decorator accumulating the wrapped callable's wall time.
+
+    Each call adds one ``(calls, seconds)`` sample to the timer *name*
+    on the metrics registry (or the explicit *registry* override).
+    While the registry is disabled the wrapper short-circuits straight
+    into the wrapped function — no clock read.
+    """
+
+    def decorate(func: F) -> F:
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            reg = registry if registry is not None else metrics_registry()
+            if not reg.enabled:
+                return func(*args, **kwargs)
+            start = reg.clock()
+            try:
+                return func(*args, **kwargs)
+            finally:
+                reg.timer_add(name, reg.clock() - start)
+
+        return cast(F, wrapper)
+
+    return decorate
+
+
+def counted(name: str, registry: Optional[Registry] = None) -> Callable[[F], F]:
+    """Decorator incrementing counter *name* once per call."""
+
+    def decorate(func: F) -> F:
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            reg = registry if registry is not None else metrics_registry()
+            reg.counter_add(name)
+            return func(*args, **kwargs)
+
+        return cast(F, wrapper)
+
+    return decorate
+
+
+def span(name: str, registry: Optional[Registry] = None) -> Any:
+    """An explicit ``with``-block timer on the metrics registry.
+
+    ``with span("sim.decide"): ...`` — nests freely; a parent span's
+    total includes its children's (the hot-path table reports inclusive
+    time per phase).
+    """
+    reg = registry if registry is not None else metrics_registry()
+    return reg.span(name)

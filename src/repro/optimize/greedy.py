@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.instruments import timed
 from repro.optimize.slot_problem import SlotServiceProblem
 
 __all__ = ["solve_greedy"]
@@ -31,6 +32,7 @@ __all__ = ["solve_greedy"]
 _EPS = 1e-12
 
 
+@timed("solve.greedy")
 def solve_greedy(problem: SlotServiceProblem) -> np.ndarray:
     """Exactly minimize the beta = 0 slot objective; return ``h``.
 

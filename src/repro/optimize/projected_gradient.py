@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.instruments import timed
+from repro.obs.registry import metrics_registry
 from repro.optimize.slot_problem import SlotServiceProblem
 
 __all__ = ["solve_projected_gradient"]
@@ -43,6 +45,7 @@ def _subgradient(problem: SlotServiceProblem, h: np.ndarray) -> np.ndarray:
     return grad
 
 
+@timed("solve.projected_gradient")
 def solve_projected_gradient(
     problem: SlotServiceProblem,
     max_iterations: int = 300,
@@ -60,7 +63,8 @@ def solve_projected_gradient(
     best_value = problem.objective(best)
     step = initial_step
 
-    for _ in range(max_iterations):
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
         grad = _subgradient(problem, h)
         grad_norm = float(np.linalg.norm(grad))
         if grad_norm <= tolerance:
@@ -80,4 +84,5 @@ def solve_projected_gradient(
             trial_step *= 0.5
         if not improved:
             break
+    metrics_registry().note_solve(iterations=iterations)
     return best

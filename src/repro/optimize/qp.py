@@ -17,12 +17,15 @@ from __future__ import annotations
 import numpy as np
 from scipy.optimize import minimize
 
+from repro.obs.instruments import timed
+from repro.obs.registry import metrics_registry
 from repro.optimize.greedy import solve_greedy
 from repro.optimize.slot_problem import SlotServiceProblem
 
 __all__ = ["solve_qp"]
 
 
+@timed("solve.qp")
 def solve_qp(
     problem: SlotServiceProblem,
     max_iterations: int = 200,
@@ -153,6 +156,7 @@ def solve_qp(
         method="SLSQP",
         options={"maxiter": max_iterations, "ftol": tolerance},
     )
+    metrics_registry().note_solve(iterations=int(getattr(result, "nit", 0)))
     h_opt, _ = split(result.x)
     h_opt = problem.clip_feasible(h_opt)
     # SLSQP can stall on degenerate slots; never return something worse

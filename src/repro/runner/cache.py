@@ -29,6 +29,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.obs.registry import stats_registry
 from repro.runner.result import RunResult
 from repro.runner.spec import RunSpec, canonical_json
 
@@ -101,6 +102,13 @@ class ResultCache:
 
     def load(self, key: str) -> RunResult | None:
         """The cached result for *key*, or ``None`` on any kind of miss."""
+        result = self._load(key)
+        stats_registry().counter_add(
+            "cache.loads.hit" if result is not None else "cache.loads.miss"
+        )
+        return result
+
+    def _load(self, key: str) -> RunResult | None:
         path = self.path_for(key)
         try:
             payload = json.loads(path.read_text(encoding="utf-8"))
@@ -124,6 +132,7 @@ class ResultCache:
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         tmp.write_text(json.dumps(payload), encoding="utf-8")
         os.replace(tmp, path)
+        stats_registry().counter_add("cache.stores")
 
     # ------------------------------------------------------------------
     def entries(self) -> list:
@@ -134,13 +143,28 @@ class ResultCache:
         return sorted(base.rglob("*.json"))
 
     def info(self) -> dict:
-        """Entry count and total size (for ``repro cache info``)."""
+        """On-disk state plus this process's session counters.
+
+        ``repro cache info`` prints this merged view; the disk figures
+        are also published as gauges (``cache.entries``/``cache.bytes``)
+        on the stats registry next to the session hit/miss/store
+        counters the :meth:`load`/:meth:`store` paths maintain.
+        """
         entries = self.entries()
+        total_bytes = sum(path.stat().st_size for path in entries)
+        registry = stats_registry()
+        registry.gauge_set("cache.entries", len(entries))
+        registry.gauge_set("cache.bytes", total_bytes)
         return {
             "root": str(self.root),
             "schema": self.schema,
             "entries": len(entries),
-            "bytes": sum(path.stat().st_size for path in entries),
+            "bytes": total_bytes,
+            "session": {
+                "hits": int(registry.counter("cache.loads.hit")),
+                "misses": int(registry.counter("cache.loads.miss")),
+                "stores": int(registry.counter("cache.stores")),
+            },
         }
 
     def clear(self) -> int:

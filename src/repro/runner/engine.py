@@ -28,6 +28,7 @@ from typing import Sequence
 
 from repro._contracts import contracts_enabled, queue_bound_observer
 from repro._validation import require_integer
+from repro.obs.registry import stats_registry
 from repro.runner.cache import ResultCache, cache_key
 from repro.runner.collect import collect_value
 from repro.runner.result import RunResult
@@ -36,9 +37,15 @@ from repro.runner.spec import RunSpec
 __all__ = ["RunnerStats", "reset_stats", "run_many", "run_spec", "runner_stats"]
 
 
-@dataclass
+@dataclass(frozen=True)
 class RunnerStats:
-    """Cumulative engine counters since the last :func:`reset_stats`."""
+    """Snapshot of the engine counters since the last :func:`reset_stats`.
+
+    The numbers themselves live on the always-on stats registry
+    (:func:`repro.obs.registry.stats_registry`) under ``runner.*`` —
+    this class is the read-side view plus the one shared render used by
+    both the CLI footer and the ``progress=True`` report.
+    """
 
     executed: int = 0
     cache_hits: int = 0
@@ -48,19 +55,19 @@ class RunnerStats:
         return f"runner: {self.executed} executed, {self.cache_hits} cached (jobs={self.jobs})"
 
 
-_STATS = RunnerStats()
-
-
 def runner_stats() -> RunnerStats:
     """The process-wide counters (the CLI prints these after a command)."""
-    return _STATS
+    registry = stats_registry()
+    return RunnerStats(
+        executed=int(registry.counter("runner.executed")),
+        cache_hits=int(registry.counter("runner.cache_hits")),
+        jobs=int(registry.gauge("runner.jobs", 1.0)),
+    )
 
 
 def reset_stats() -> None:
     """Zero the process-wide counters."""
-    _STATS.executed = 0
-    _STATS.cache_hits = 0
-    _STATS.jobs = 1
+    stats_registry().reset("runner.")
 
 
 # ----------------------------------------------------------------------
@@ -186,15 +193,16 @@ def run_many(
                 cache.store(task[0], result)
 
     hits = len(specs) - len(pending)
-    _STATS.executed += len(pending)
-    _STATS.cache_hits += hits
-    _STATS.jobs = jobs
+    registry = stats_registry()
+    registry.counter_add("runner.executed", len(pending))
+    registry.counter_add("runner.cache_hits", hits)
+    registry.gauge_set("runner.jobs", jobs)
     if progress:
         import sys
 
+        batch = RunnerStats(executed=len(pending), cache_hits=hits, jobs=jobs)
         print(
-            f"[repro.runner] {len(specs)} spec(s): {hits} cached, "
-            f"{len(pending)} executed (jobs={jobs})",
+            f"[repro.runner] {len(specs)} spec(s): {batch.render()}",
             file=sys.stderr,
         )
     return [results[index] for index in range(len(specs))]

@@ -17,6 +17,8 @@ import numpy as np
 from repro._contracts import contracts_enabled, verify_action_capacity
 from repro.core.objective import CostModel
 from repro.model.queues import QueueNetwork
+from repro.obs.events import SlotTraceEvent
+from repro.obs.registry import metrics_registry
 from repro.schedulers.base import Scheduler
 from repro.simulation.metrics import MetricsCollector, SimulationSummary
 from repro.simulation.trace import Scenario
@@ -111,9 +113,11 @@ class Simulator:
         if injector is not None:
             injector.reset()
 
+        reg = metrics_registry()
         dropped = 0.0
         admitted_total = 0.0
         for t in range(horizon):
+            slot_start = reg.clock() if reg.enabled else 0.0
             state = scenario.state_at(t)
             requeued = None
             if injector is not None:
@@ -125,7 +129,8 @@ class Simulator:
                 observed = injector.observed_state(t, state)
             else:
                 observed = state
-            action = self.scheduler.decide(t, observed, queues)
+            with reg.span("sim.decide"):
+                action = self.scheduler.decide(t, observed, queues)
             if injector is not None:
                 action = injector.filter_action(t, action, state)
             if self.enforce_physical:
@@ -150,15 +155,36 @@ class Simulator:
             outcome = queues.step(action, arrivals, t)
             for observer in self.observers:
                 observer(t, state, action, queues)
-            cost = self.cost_model.evaluate(cluster, state, action)
-            metrics.record(
-                energy=cost.energy,
-                fairness=cost.fairness,
-                combined=cost.combined,
-                work_per_dc=action.work_served(cluster),
-                served_jobs=float(np.sum(outcome["served"])),
-                queues=queues,
-            )
+            served_jobs = float(np.sum(outcome["served"]))
+            with reg.span("sim.metrics"):
+                cost = self.cost_model.evaluate(cluster, state, action)
+                metrics.record(
+                    energy=cost.energy,
+                    fairness=cost.fairness,
+                    combined=cost.combined,
+                    work_per_dc=action.work_served(cluster),
+                    served_jobs=served_jobs,
+                    queues=queues,
+                )
+            if reg.enabled:
+                # Fold the scheduler's per-decision solve record (if it
+                # left one) into this slot's structured trace event.
+                solve = reg.consume_solve()
+                reg.timer_add("sim.slot", reg.clock() - slot_start)
+                reg.emit(
+                    SlotTraceEvent(
+                        slot=t,
+                        scheduler=self.scheduler.name,
+                        front_backlog=float(np.sum(queues.front)),
+                        dc_backlog=float(np.sum(queues.dc)),
+                        solver=str(solve.get("solver", "")),
+                        iterations=int(solve.get("iterations", 0)),
+                        objective=float(solve.get("objective", 0.0)),
+                        solve_seconds=float(solve.get("solve_seconds", 0.0)),
+                        energy_cost=float(cost.energy),
+                        served_jobs=served_jobs,
+                    )
+                )
 
         summary = metrics.summary(
             self.scheduler.name,

@@ -1,6 +1,6 @@
 """Developer tooling shipped with the reproduction.
 
 Currently one tool lives here: :mod:`repro.tools.staticcheck`, the
-project-specific AST lint gate (rules GF001-GF006) run in CI and via
+project-specific AST lint gate (rules GF001-GF007) run in CI and via
 ``repro lint``.
 """

@@ -24,7 +24,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro.tools.staticcheck",
         description=(
             "Project-specific AST lint for the GreFar reproduction "
-            "(rules GF001-GF006; see docs/STATIC_ANALYSIS.md)"
+            "(rules GF001-GF007; see docs/STATIC_ANALYSIS.md)"
         ),
     )
     parser.add_argument(

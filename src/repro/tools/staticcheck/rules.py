@@ -497,6 +497,56 @@ class RunnerRoutingRule(Rule):
                 )
 
 
+# ----------------------------------------------------------------------
+# GF007 — performance-clock routing
+# ----------------------------------------------------------------------
+class PerfClockRule(Rule):
+    """Performance-clock reads go through :mod:`repro.obs`.
+
+    A bare ``time.perf_counter()`` pair is telemetry the observability
+    layer cannot see: it ignores the enabled/disabled gate (cost paid
+    even when profiling is off), never lands in the hot-path table, and
+    each ad-hoc site re-invents accumulation.  ``Registry.clock()``,
+    the ``timed`` decorator and ``span`` blocks are the one timing
+    surface; only ``repro/obs/`` itself may touch the clock.
+    """
+
+    id = "GF007"
+    title = "time through repro.obs, not bare time.perf_counter()"
+    rationale = (
+        "ad-hoc perf_counter() reads bypass the obs registry's "
+        "enabled gate and never reach the hot-path profile; use "
+        "Registry.clock(), @timed or span()."
+    )
+
+    _HOME = "obs/"
+    _CLOCKS = {
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+    }
+
+    def applies_to(self, ctx: "ModuleContext") -> bool:
+        return not (ctx.anchored and ctx.module.startswith(self._HOME))
+
+    def check(self, ctx: "ModuleContext") -> Iterator[Violation]:
+        imports = _import_map(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            canonical = _canonical_call(node, imports)
+            if canonical in self._CLOCKS:
+                yield (
+                    node,
+                    f"direct {canonical}() read outside repro/obs; use "
+                    "Registry.clock(), the timed decorator or a span() "
+                    "block so the measurement reaches the profile layer",
+                )
+
+
 RULES: tuple[Rule, ...] = (
     DeterminismRule(),
     QueueHygieneRule(),
@@ -504,6 +554,7 @@ RULES: tuple[Rule, ...] = (
     ValidationConsistencyRule(),
     FloatEqualityRule(),
     RunnerRoutingRule(),
+    PerfClockRule(),
 )
 
 RULE_REGISTRY: dict = {rule.id: rule for rule in RULES}

@@ -1,0 +1,16 @@
+"""GF007 self-test fixture: ad-hoc performance-clock reads.
+
+Never imported — parsed by the staticcheck engine only.
+"""
+
+import time
+
+
+def hand_rolled_timer():
+    start = time.perf_counter()
+    total = sum(range(1000))
+    return total, time.perf_counter() - start
+
+
+def monotonic_stamp():
+    return time.monotonic()

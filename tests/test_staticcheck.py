@@ -1,6 +1,6 @@
 """Self-tests for the project static checker (repro.tools.staticcheck).
 
-Each rule GF001-GF006 gets one deliberately-bad fixture it must flag and
+Each rule GF001-GF007 gets one deliberately-bad fixture it must flag and
 one clean fixture it must pass; the fixtures live in
 ``tests/staticcheck_fixtures/`` and are parsed, never imported.
 """
@@ -31,6 +31,7 @@ RULE_CASES = [
     ("GF004", "gf004_bad.py", 2, "gf004_good.py"),
     ("GF005", "gf005_bad.py", 2, "gf005_good.py"),
     ("GF006", "gf006_bad.py", 2, "gf006_good.py"),
+    ("GF007", "gf007_bad.py", 3, "gf007_good.py"),
 ]
 
 
@@ -91,7 +92,15 @@ def test_unknown_rule_selection_raises():
 
 
 def test_rule_ids_registry():
-    assert rule_ids() == ["GF001", "GF002", "GF003", "GF004", "GF005", "GF006"]
+    assert rule_ids() == [
+        "GF001",
+        "GF002",
+        "GF003",
+        "GF004",
+        "GF005",
+        "GF006",
+        "GF007",
+    ]
 
 
 # ----------------------------------------------------------------------
