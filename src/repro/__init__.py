@@ -21,7 +21,11 @@ The package provides:
   degraded-mode scheduling and recovery reporting;
 * a declarative run engine (:mod:`repro.runner`): frozen
   :class:`RunSpec` descriptions executed serially or across a process
-  pool (bit-identical), with a content-addressed on-disk result cache.
+  pool (bit-identical), with a content-addressed on-disk result cache;
+* a supervision layer (:mod:`repro.resilient`): supervised slot solves
+  with fallback chains (no backend exception escapes a slot),
+  NaN/Inf/negative input guards, and atomic checkpoint/resume that is
+  bit-identical to an uninterrupted run.
 
 Quickstart::
 
@@ -89,14 +93,27 @@ from repro.faults import (
     ResilienceObserver,
     ResilienceReport,
 )
+from repro.resilient import (
+    Checkpointer,
+    FlakyBackend,
+    SimulationKilled,
+    SolverIncident,
+    SupervisedSolver,
+    run_chaos_drill,
+    sanitize_state,
+    solve_service,
+)
 from repro.runner import (
+    CheckpointPolicy,
     ResultCache,
     RunResult,
     RunSpec,
     ScenarioSpec,
     default_cache,
+    resume_from_checkpoint,
     run_many,
     run_spec,
+    set_checkpoint_policy,
 )
 from repro.schedulers import (
     AlwaysScheduler,
@@ -135,6 +152,8 @@ __all__ = [
     "AlphaFairness",
     "AlwaysScheduler",
     "AvailabilityModel",
+    "CheckpointPolicy",
+    "Checkpointer",
     "Cluster",
     "ClusterState",
     "CosmosWorkload",
@@ -146,6 +165,7 @@ __all__ = [
     "FaultImpact",
     "FaultInjector",
     "FaultSchedule",
+    "FlakyBackend",
     "GreFarScheduler",
     "JainFairness",
     "JobBatch",
@@ -176,11 +196,14 @@ __all__ = [
     "ScenarioSpec",
     "Scheduler",
     "ServerClass",
+    "SimulationKilled",
     "SimulationResult",
     "SimulationSummary",
     "Simulator",
     "SlacknessReport",
     "SlotCost",
+    "SolverIncident",
+    "SupervisedSolver",
     "TheoremConstants",
     "TieredPricing",
     "TroughFillingScheduler",
@@ -189,9 +212,14 @@ __all__ = [
     "paper_cluster",
     "parallelism_service_bounds",
     "paper_scenario",
+    "resume_from_checkpoint",
+    "run_chaos_drill",
     "run_comparison",
     "run_many",
     "run_spec",
+    "sanitize_state",
+    "set_checkpoint_policy",
     "small_cluster",
     "small_scenario",
+    "solve_service",
 ]

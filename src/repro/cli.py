@@ -4,13 +4,22 @@ Usage (also available as ``python -m repro.cli``)::
 
     repro list                                # schedulers & experiments
     repro run --scheduler grefar --v 7.5 --beta 100 --horizon 500
+    repro run --horizon 2000 --checkpoint-every 100     # crash-safe run
+    repro run --horizon 2000 --resume                   # finish a killed run
     repro compare --horizon 500 --jobs 4      # GreFar vs every baseline
     repro sweep-v --values 0.1,2.5,7.5,20     # the Fig. 2 sweep
     repro experiment fig2 --horizon 2000      # regenerate a paper figure
     repro resilience --dc 1 --start 150 --duration 60   # outage drill
+    repro chaos --fail-rate 0.15 --horizon 300          # solver-fault drill
     repro profile --scenario default --horizon 200      # hot-path table
     repro cache info                          # result-cache statistics
     repro lint src/repro --format json        # project static checker
+
+Long runs are crash-safe: ``--checkpoint-every N`` snapshots the full
+simulation state atomically under ``.repro_cache/checkpoints/`` every
+N slots, and ``--resume`` continues a killed run from its snapshot
+with bit-identical final metrics (``docs/SUPERVISION.md``).  A run
+killed by the ``--kill-at`` crash drill exits with code 3.
 
 Every simulation-launching subcommand routes through
 :mod:`repro.runner`: ``--jobs N`` fans independent runs across worker
@@ -34,7 +43,9 @@ from repro.core.grefar import GreFarScheduler
 from repro.core.slackness import check_slackness
 from repro.faults import FaultEvent, FaultInjector, FaultSchedule, ResilienceObserver
 from repro.faults.events import FAULT_KINDS
+from repro.resilient import SimulationKilled, run_chaos_drill
 from repro.runner import (
+    CheckpointPolicy,
     ResultCache,
     RunSpec,
     ScenarioSpec,
@@ -42,6 +53,7 @@ from repro.runner import (
     reset_stats,
     run_many,
     runner_stats,
+    set_checkpoint_policy,
 )
 from repro.scenarios import paper_scenario
 from repro.schedulers import AlwaysScheduler, RandomRoutingScheduler, scheduler_names
@@ -166,6 +178,19 @@ def _cache_for(args) -> ResultCache | None:
     return None if args.no_cache else default_cache()
 
 
+def _install_checkpoint_policy(args) -> None:
+    """Install the process-wide checkpoint policy from the CLI flags."""
+    every = getattr(args, "checkpoint_every", None)
+    resume = bool(getattr(args, "resume", False))
+    kill_at = getattr(args, "kill_at", None)
+    if every is None and not resume and kill_at is None:
+        set_checkpoint_policy(None)
+        return
+    set_checkpoint_policy(
+        CheckpointPolicy(every=every, resume=resume, kill_at=kill_at)
+    )
+
+
 def _print_runner_stats() -> None:
     print(runner_stats().render())
 
@@ -191,12 +216,29 @@ def _cmd_list(args) -> int:
 
 def _cmd_run(args) -> int:
     reset_stats()
+    try:
+        _install_checkpoint_policy(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     spec = RunSpec(
         scenario=ScenarioSpec(kind="paper", horizon=args.horizon, seed=args.seed),
         scheduler=args.scheduler,
         scheduler_kwargs=_scheduler_kwargs_from_args(args.scheduler, args),
     )
-    result = run_many([spec], jobs=args.jobs, cache=_cache_for(args))[0]
+    try:
+        result = run_many([spec], jobs=args.jobs, cache=_cache_for(args))[0]
+    except SimulationKilled as exc:
+        print(f"{exc}", file=sys.stderr)
+        print("resume with the same command plus --resume", file=sys.stderr)
+        return 3
+    finally:
+        set_checkpoint_policy(None)
+    if args.json:
+        import json
+
+        print(json.dumps(result.summary.as_dict(), sort_keys=True))
+        return 0
     print(
         format_table(
             _SUMMARY_HEADERS,
@@ -343,6 +385,53 @@ def _cmd_resilience(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    """Solver-fault drill: flaky primary backend, supervised recovery.
+
+    Wraps the scheduler's primary backend in a deterministic
+    :class:`~repro.resilient.FlakyBackend` and runs with per-slot action
+    validation on.  Exit 0 means the run completed, every slot's action
+    was feasible, and (when faults were actually injected) at least one
+    fallback was recorded — the CI ``chaos`` job's acceptance bar.
+    """
+    from repro.scenarios import small_scenario
+
+    if not 0.0 <= args.fail_rate <= 1.0:
+        print(
+            f"error: --fail-rate must lie in [0, 1], got {args.fail_rate}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.scenario == "small":
+        scenario = small_scenario(horizon=args.horizon, seed=args.seed)
+    else:
+        scenario = paper_scenario(horizon=args.horizon, seed=args.seed)
+    scheduler = GreFarScheduler(scenario.cluster, v=args.v, beta=args.beta)
+    try:
+        report = run_chaos_drill(
+            scenario,
+            scheduler,
+            failure_rate=args.fail_rate,
+            seed=args.seed,
+            mode=args.mode,
+        )
+    except Exception as exc:  # noqa: BLE001 - a crashed drill IS the failure
+        print(f"chaos drill CRASHED: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    print(report.render())
+    if args.fail_rate > 0 and report.injected_failures == 0:
+        print("error: no faults were injected (horizon too short?)", file=sys.stderr)
+        return 1
+    if report.injected_failures > 0 and report.fallbacks == 0:
+        print("error: faults injected but no fallback recorded", file=sys.stderr)
+        return 1
+    print(
+        f"OK: {report.slots} slots, every action feasible, "
+        f"{report.fallbacks} fallback solve(s)"
+    )
+    return 0
+
+
 def _cmd_cache(args) -> int:
     """Inspect or clear the on-disk result cache."""
     cache = default_cache()
@@ -420,7 +509,19 @@ def _cmd_experiment(args) -> int:
 
     module = importlib.import_module(info.module)
     reset_stats()
-    module.main(**info.main_kwargs(args))
+    try:
+        _install_checkpoint_policy(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        module.main(**info.main_kwargs(args))
+    except SimulationKilled as exc:
+        print(f"{exc}", file=sys.stderr)
+        print("resume with the same command plus --resume", file=sys.stderr)
+        return 3
+    finally:
+        set_checkpoint_policy(None)
     _print_runner_stats()
     return 0
 
@@ -441,6 +542,32 @@ def _add_runner_flags(command) -> None:
     )
 
 
+def _add_checkpoint_flags(command) -> None:
+    """Crash-safety flags shared by ``repro run`` and ``repro experiment``."""
+    command.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="snapshot the run state every N slots "
+        "(.repro_cache/checkpoints/; removed on completion)",
+    )
+    command.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from an existing checkpoint (bit-identical to an "
+        "uninterrupted run; falls back to a fresh run if none)",
+    )
+    command.add_argument(
+        "--kill-at",
+        type=int,
+        default=None,
+        metavar="SLOT",
+        help="crash drill: checkpoint and kill the run after SLOT slots "
+        "(exit code 3)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -458,7 +585,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--threshold", type=float, default=0.4)
     run.add_argument("--horizon", type=int, default=500)
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--json",
+        action="store_true",
+        help="print the summary as one JSON line (machine-comparable)",
+    )
     _add_runner_flags(run)
+    _add_checkpoint_flags(run)
 
     compare = sub.add_parser("compare", help="GreFar versus the baselines")
     compare.add_argument("--v", type=float, default=7.5)
@@ -528,6 +661,31 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--horizon", type=int, default=None)
     exp.add_argument("--seed", type=int, default=0)
     _add_runner_flags(exp)
+    _add_checkpoint_flags(exp)
+
+    chaos = sub.add_parser(
+        "chaos", help="solver-fault drill: flaky backend, supervised recovery"
+    )
+    chaos.add_argument(
+        "--fail-rate",
+        type=float,
+        default=0.15,
+        help="fraction of slot solves the primary backend fails on",
+    )
+    chaos.add_argument(
+        "--mode",
+        choices=("raise", "nan", "error"),
+        default="raise",
+        help="how the flaky backend fails (typed raise, NaN result, "
+        "untyped raise)",
+    )
+    chaos.add_argument(
+        "--scenario", choices=("paper", "small"), default="paper"
+    )
+    chaos.add_argument("--v", type=float, default=7.5)
+    chaos.add_argument("--beta", type=float, default=0.0)
+    chaos.add_argument("--horizon", type=int, default=300)
+    chaos.add_argument("--seed", type=int, default=0)
 
     cache = sub.add_parser("cache", help="inspect or clear the result cache")
     cache.add_argument("action", choices=("info", "clear"))
@@ -551,6 +709,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "sweep-v": _cmd_sweep_v,
     "resilience": _cmd_resilience,
+    "chaos": _cmd_chaos,
     "profile": _cmd_profile,
     "experiment": _cmd_experiment,
     "cache": _cmd_cache,

@@ -40,21 +40,15 @@ from repro.model.cluster import Cluster
 from repro.model.pricing import LinearPricing
 from repro.model.queues import QueueNetwork
 from repro.model.state import ClusterState
-from repro.optimize.greedy import solve_greedy
-from repro.optimize.lp import solve_lp
-from repro.optimize.projected_gradient import solve_projected_gradient
-from repro.optimize.qp import solve_qp
 from repro.optimize.slot_problem import SlotServiceProblem
+from repro.resilient.supervisor import SupervisedSolver
 from repro.schedulers.base import Scheduler, service_upper_bounds
 
 __all__ = ["GreFarScheduler"]
 
-_SOLVERS = {
-    "greedy": solve_greedy,
-    "lp": solve_lp,
-    "qp": solve_qp,
-    "projected_gradient": solve_projected_gradient,
-}
+#: User-selectable per-slot backends (the supervisor's terminal "zero"
+#: fallback is not a scheduler choice).
+_SOLVER_NAMES = ("greedy", "lp", "qp", "projected_gradient")
 
 
 class GreFarScheduler(Scheduler):
@@ -97,10 +91,10 @@ class GreFarScheduler(Scheduler):
         pricing=None,
     ) -> None:
         super().__init__(cluster)
-        if solver != "auto" and solver not in _SOLVERS:
+        if solver != "auto" and solver not in _SOLVER_NAMES:
             raise ValueError(
                 f"unknown solver {solver!r}; choose from "
-                f"{['auto', *sorted(_SOLVERS)]}"
+                f"{['auto', *sorted(_SOLVER_NAMES)]}"
             )
         self.v = require_non_negative(v, "v")
         self.beta = require_non_negative(beta, "beta")
@@ -108,7 +102,16 @@ class GreFarScheduler(Scheduler):
         self.solver = solver
         self.physical = bool(physical)
         self.pricing = pricing if pricing is not None else LinearPricing()
+        # Every slot solve runs supervised: a backend failure degrades
+        # down the fallback chain instead of escaping the slot (see
+        # repro.resilient.supervisor; healthy solves are bit-identical
+        # to the unsupervised call).
+        self.supervisor = SupervisedSolver()
         self.name = f"GreFar(V={v:g}, beta={beta:g})"
+
+    def reset(self) -> None:
+        super().reset()
+        self.supervisor.clear_incidents()
 
     # ------------------------------------------------------------------
     def decide(self, t: int, state: ClusterState, queues: QueueNetwork) -> Action:
@@ -120,7 +123,7 @@ class GreFarScheduler(Scheduler):
         with reg.span("grefar.route"):
             route = self._route(front, dc, state.capacities(self.cluster))
         problem = self._problem(state, dc)
-        h = self._solve(problem)
+        h = self._solve(problem, t)
         return Action(route, h, problem.busy_for(h))
 
     # ------------------------------------------------------------------
@@ -200,24 +203,24 @@ class GreFarScheduler(Scheduler):
             return "lp"
         return "greedy"
 
-    def _solve(self, problem: SlotServiceProblem) -> np.ndarray:
+    def _solve(self, problem: SlotServiceProblem, t: int) -> np.ndarray:
         name = self.select_backend()
-        backend = _SOLVERS[name]
         reg = metrics_registry()
         if not reg.enabled:
-            return problem.clip_feasible(backend(problem))
+            return self.supervisor.solve(problem, primary=name, slot=t).h
         # Instrumented path: time the solve, count the backend taken and
         # leave a per-decision record (solver, objective, iterations) for
         # the simulator to fold into this slot's trace event.  None of
         # this touches the decision itself.
         start = reg.clock()
-        h = problem.clip_feasible(backend(problem))
+        outcome = self.supervisor.solve(problem, primary=name, slot=t)
+        h = outcome.h
         elapsed = reg.clock() - start
         iterations = int(reg.consume_solve().get("iterations", 0))
-        reg.counter_add(f"grefar.solver.{name}")
+        reg.counter_add(f"grefar.solver.{outcome.backend}")
         reg.timer_add("grefar.solve", elapsed)
         reg.note_solve(
-            solver=name,
+            solver=outcome.backend,
             iterations=iterations,
             objective=float(problem.objective(h)),
             solve_seconds=elapsed,

@@ -19,6 +19,7 @@ import numpy as np
 from scipy.optimize import linprog
 
 from repro.obs.instruments import timed
+from repro.optimize import SolverFailure
 from repro.optimize.slot_problem import SlotServiceProblem
 
 __all__ = ["solve_lp"]
@@ -77,5 +78,8 @@ def solve_lp(problem: SlotServiceProblem) -> np.ndarray:
 
     result = linprog(c, A_ub=a_ub, b_ub=b_ub, bounds=bounds, method="highs")
     if not result.success:
-        raise RuntimeError(f"slot LP failed: {result.message}")
-    return result.x[:num_h].reshape(n, j_count)
+        raise SolverFailure("lp", f"slot LP failed: {result.message}", problem)
+    h = result.x[:num_h].reshape(n, j_count)
+    if not np.all(np.isfinite(h)):
+        raise SolverFailure("lp", "non-finite LP solution", problem)
+    return h

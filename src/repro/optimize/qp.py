@@ -19,6 +19,7 @@ from scipy.optimize import minimize
 
 from repro.obs.instruments import timed
 from repro.obs.registry import metrics_registry
+from repro.optimize import SolverFailure
 from repro.optimize.greedy import solve_greedy
 from repro.optimize.slot_problem import SlotServiceProblem
 
@@ -147,16 +148,23 @@ def solve_qp(
     bounds = [(0.0, float(ub)) for ub in problem.h_upper.ravel()]
     bounds += [(0.0, float(avail)) for avail in state.availability.ravel()]
 
-    result = minimize(
-        objective,
-        x0,
-        jac=gradient,
-        bounds=bounds,
-        constraints=constraints,
-        method="SLSQP",
-        options={"maxiter": max_iterations, "ftol": tolerance},
-    )
+    try:
+        result = minimize(
+            objective,
+            x0,
+            jac=gradient,
+            bounds=bounds,
+            constraints=constraints,
+            method="SLSQP",
+            options={"maxiter": max_iterations, "ftol": tolerance},
+        )
+    except (ValueError, FloatingPointError, ZeroDivisionError) as exc:
+        raise SolverFailure("qp", f"SLSQP raised: {exc}", problem) from exc
     metrics_registry().note_solve(iterations=int(getattr(result, "nit", 0)))
+    if not np.all(np.isfinite(result.x)):
+        raise SolverFailure(
+            "qp", f"non-finite SLSQP solution ({result.message})", problem
+        )
     h_opt, _ = split(result.x)
     h_opt = problem.clip_feasible(h_opt)
     # SLSQP can stall on degenerate slots; never return something worse

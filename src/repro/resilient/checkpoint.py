@@ -1,0 +1,192 @@
+"""Crash-safe checkpointing: atomic, schema-versioned run snapshots.
+
+A killed process must not lose a long horizon.  The simulator
+periodically pickles its full mid-run state — queue network, metrics
+collector, scheduler (including any RNG state, e.g. the random-routing
+baseline's generator), admission policy, fault injector and the loop
+counters — into ``.repro_cache/checkpoints/<key>.ckpt``.  Resuming
+restores every object and continues from the next slot, producing
+bit-identical metrics and trace to an uninterrupted run: the restored
+state is exactly the state the uninterrupted run had at that slot, and
+everything downstream is deterministic.
+
+File format: one pickle of ``{"schema": CHECKPOINT_SCHEMA, "key": ...,
+"payload": {...}}``.  Writes go to a same-directory temp file followed
+by ``os.replace``, so a crash mid-write leaves the previous checkpoint
+intact rather than a torn file.  A schema-tag or key mismatch on load
+is treated as "no checkpoint" (:meth:`Checkpointer.load` returns
+``None``) — stale snapshots from an older code version are never
+resumed into newer code.
+
+:class:`SimulationKilled` powers the crash drill: a checkpointer with
+``kill_at`` set saves its snapshot and then raises mid-run, letting
+tests and the CI ``chaos`` job kill a run at an exact slot and prove
+the resumed run is bit-identical.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro._validation import require_integer
+from repro.obs.registry import stats_registry
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "CheckpointError",
+    "Checkpointer",
+    "DEFAULT_CHECKPOINT_DIR",
+    "SimulationKilled",
+    "checkpoint_path",
+    "load_checkpoint",
+    "save_checkpoint",
+]
+
+#: Bump whenever the snapshot payload layout changes; mismatching
+#: checkpoints are ignored, never migrated.
+CHECKPOINT_SCHEMA = "ckpt-v1"
+
+#: Checkpoints live next to the result cache.
+DEFAULT_CHECKPOINT_DIR = Path(".repro_cache") / "checkpoints"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint could not be written or read."""
+
+
+class SimulationKilled(RuntimeError):
+    """Raised by the crash drill after the ``kill_at`` slot completed.
+
+    Carries where the run died and where its checkpoint (if any) lives
+    so the CLI can print an actionable resume hint.
+    """
+
+    def __init__(self, slot: int, path: Optional[Path] = None) -> None:
+        self.slot = slot
+        self.path = path
+        hint = f"; resume from {path}" if path is not None else ""
+        super().__init__(f"simulation killed after slot {slot} (crash drill){hint}")
+
+
+def checkpoint_path(
+    key: str, directory: Union[str, Path, None] = None
+) -> Path:
+    """Where the checkpoint for cache-key *key* lives."""
+    if not key:
+        raise ValueError("checkpointing requires a non-empty run key")
+    base = Path(directory) if directory is not None else DEFAULT_CHECKPOINT_DIR
+    return base / f"{key}.ckpt"
+
+
+def save_checkpoint(path: Union[str, Path], key: str, payload: Dict[str, Any]) -> Path:
+    """Atomically write *payload* under the current schema tag."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    record = {"schema": CHECKPOINT_SCHEMA, "key": key, "payload": payload}
+    tmp = path.with_suffix(f".tmp.{os.getpid()}")
+    try:
+        with open(tmp, "wb") as handle:
+            pickle.dump(record, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+    except (OSError, pickle.PicklingError) as exc:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise CheckpointError(f"could not write checkpoint {path}: {exc}") from exc
+    stats_registry().counter_add("resilient.checkpoint.saves")
+    return path
+
+
+def load_checkpoint(
+    path: Union[str, Path], key: Optional[str] = None
+) -> Optional[Dict[str, Any]]:
+    """Load a checkpoint payload; ``None`` if absent, stale or unreadable.
+
+    A missing file, a torn/corrupt pickle, a schema-tag mismatch or
+    (when *key* is given) a key mismatch all mean "no usable
+    checkpoint": resuming silently falls back to a fresh run rather
+    than crashing or, worse, resuming the wrong run.
+    """
+    path = Path(path)
+    try:
+        with open(path, "rb") as handle:
+            record = pickle.load(handle)
+    except FileNotFoundError:
+        return None
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ValueError):
+        stats_registry().counter_add("resilient.checkpoint.corrupt")
+        return None
+    if not isinstance(record, dict) or record.get("schema") != CHECKPOINT_SCHEMA:
+        stats_registry().counter_add("resilient.checkpoint.schema_mismatch")
+        return None
+    if key is not None and record.get("key") != key:
+        stats_registry().counter_add("resilient.checkpoint.key_mismatch")
+        return None
+    stats_registry().counter_add("resilient.checkpoint.loads")
+    return record.get("payload")
+
+
+@dataclass
+class Checkpointer:
+    """Per-run checkpoint schedule handed to :meth:`Simulator.run`.
+
+    Parameters
+    ----------
+    key:
+        Stable identity of the run (the runner's cache key); names the
+        checkpoint file and guards against resuming a different spec.
+    every:
+        Save after every *every* completed slots (``None``: never save
+        periodically — useful for a resume-only policy).
+    directory:
+        Checkpoint directory, default ``.repro_cache/checkpoints``.
+    kill_at:
+        Crash drill: raise :class:`SimulationKilled` once this many
+        slots completed (after saving a final snapshot first, so the
+        killed run is always resumable).
+    """
+
+    key: str
+    every: Optional[int] = None
+    directory: Union[str, Path] = field(default=DEFAULT_CHECKPOINT_DIR)
+    kill_at: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            raise ValueError("checkpointing requires a non-empty run key")
+        if self.every is not None:
+            require_integer(self.every, "every", minimum=1)
+        if self.kill_at is not None:
+            require_integer(self.kill_at, "kill_at", minimum=1)
+
+    @property
+    def path(self) -> Path:
+        return checkpoint_path(self.key, self.directory)
+
+    # ------------------------------------------------------------------
+    def due(self, completed_slots: int) -> bool:
+        """True when a periodic save is due after *completed_slots*."""
+        if self.every is None:
+            return False
+        return completed_slots % self.every == 0
+
+    def should_kill(self, completed_slots: int) -> bool:
+        return self.kill_at is not None and completed_slots >= self.kill_at
+
+    def save(self, payload: Dict[str, Any]) -> Path:
+        return save_checkpoint(self.path, self.key, payload)
+
+    def load(self) -> Optional[Dict[str, Any]]:
+        return load_checkpoint(self.path, key=self.key)
+
+    def clear(self) -> None:
+        """Remove the checkpoint (called after a successful run)."""
+        try:
+            self.path.unlink()
+        except OSError:
+            pass

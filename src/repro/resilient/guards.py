@@ -1,0 +1,253 @@
+"""Numerical guards for state and trace inputs: NaN/Inf/negative screening.
+
+Replayed price feeds and external availability traces are the classic
+way garbage enters a run — a NaN price on one slot poisons the slot
+objective, an Inf availability overflows the capacity coupling, a
+negative price flips the "serve when cheap" threshold.
+:class:`ClusterState` already *rejects* such values at construction;
+the guards in this module decide what to do with raw inputs **before**
+that constructor runs, under one of three policies:
+
+``"raise"``
+    Fail fast with :class:`GuardViolation` naming every offending
+    field.  The right default for curated paper scenarios.
+``"clamp"``
+    Clamp-and-warn: negatives to zero, non-finite availability to zero
+    (schedule nothing on a site reporting garbage), non-finite prices
+    to the largest finite price visible in the same input (assume the
+    dark site is expensive — the fail-safe direction for a cost
+    minimizer).  Incidents are counted.
+``"hold"``
+    Hold-last-good: offending entries become NaN in a ``missing_ok``
+    state, which routes them through the faults subsystem's
+    last-known-good machinery
+    (:meth:`repro.schedulers.base.Scheduler.prepare_state`) — each bad
+    entry takes the most recent cleanly observed value for that entry.
+    For whole traces, :func:`sanitize_trace_arrays` forward-fills along
+    the time axis instead.
+
+Every guarded repair is counted on the always-on stats registry under
+``resilient.guard.<field>.<kind>``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.model.state import ClusterState
+from repro.obs.registry import stats_registry
+
+__all__ = [
+    "GUARD_POLICIES",
+    "GuardIncident",
+    "GuardViolation",
+    "sanitize_state",
+    "sanitize_trace_arrays",
+]
+
+GUARD_POLICIES = ("raise", "clamp", "hold")
+
+
+class GuardViolation(ValueError):
+    """Raised by the ``"raise"`` policy when an input carries bad values."""
+
+
+@dataclass(frozen=True)
+class GuardIncident:
+    """One class of repaired entries in one guarded field."""
+
+    field: str  # "availability" | "prices" | "arrivals"
+    kind: str  # "nan" | "inf" | "negative"
+    count: int
+    policy: str
+
+    def render(self) -> str:
+        return f"{self.field}: {self.count} {self.kind} entr{'y' if self.count == 1 else 'ies'} ({self.policy})"
+
+
+def _require_policy(policy: str) -> str:
+    if policy not in GUARD_POLICIES:
+        raise ValueError(
+            f"unknown guard policy {policy!r}; choose from {GUARD_POLICIES}"
+        )
+    return policy
+
+
+def _masks(arr: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(nan, inf, negative) masks; negative excludes NaN by construction."""
+    nan = np.isnan(arr)
+    inf = np.isinf(arr)
+    negative = arr < 0  # NaN compares False; -Inf is counted as inf below
+    negative = negative & ~inf
+    return nan, inf, negative
+
+
+def _note(
+    incidents: List[GuardIncident], field: str, policy: str, **kinds: np.ndarray
+) -> None:
+    registry = stats_registry()
+    for kind, mask in kinds.items():
+        count = int(np.count_nonzero(mask))
+        if count == 0:
+            continue
+        incidents.append(
+            GuardIncident(field=field, kind=kind, count=count, policy=policy)
+        )
+        registry.counter_add(f"resilient.guard.{field}.{kind}", count)
+
+
+def sanitize_state(
+    availability: Union[np.ndarray, ClusterState],
+    prices: Optional[np.ndarray] = None,
+    policy: str = "hold",
+) -> Tuple[ClusterState, Tuple[GuardIncident, ...]]:
+    """Screen raw availability/prices and return a safe ``ClusterState``.
+
+    Accepts either two raw arrays or an existing :class:`ClusterState`
+    (whose NaN entries, if any, are legal missing signals and pass
+    through untouched).  Clean inputs return an unchanged state — for a
+    ``ClusterState`` argument, the *same object* — and no incidents, so
+    the healthy path costs two ``isfinite`` scans.
+
+    Under ``"hold"`` the returned state carries NaN (``missing_ok``)
+    wherever the input was bad; pass it through a scheduler's
+    ``prepare_state`` to apply the last-known-good substitution.
+    """
+    _require_policy(policy)
+    if isinstance(availability, ClusterState):
+        if prices is not None:
+            raise ValueError("pass either a ClusterState or two raw arrays, not both")
+        state = availability
+        avail = np.asarray(state.availability, dtype=np.float64)
+        price = np.asarray(state.prices, dtype=np.float64)
+    else:
+        state = None
+        avail = np.array(availability, dtype=np.float64)
+        price = np.array(prices, dtype=np.float64)
+
+    a_nan, a_inf, a_neg = _masks(avail)
+    p_nan, p_inf, p_neg = _masks(price)
+    a_bad = a_inf | a_neg
+    p_bad = p_inf | p_neg
+    if state is None:
+        # Raw arrays: NaN is bad too (only ClusterState legitimizes it
+        # as a missing-signal marker).
+        a_bad = a_bad | a_nan
+        p_bad = p_bad | p_nan
+
+    if not (a_bad.any() or p_bad.any()):
+        if state is not None:
+            return state, ()
+        return (
+            ClusterState(avail, price, missing_ok=bool(a_nan.any() or p_nan.any())),
+            (),
+        )
+
+    incidents: List[GuardIncident] = []
+    _note(
+        incidents,
+        "availability",
+        policy,
+        nan=(a_nan & a_bad),
+        inf=a_inf,
+        negative=a_neg,
+    )
+    _note(incidents, "prices", policy, nan=(p_nan & p_bad), inf=p_inf, negative=p_neg)
+
+    if policy == "raise":
+        raise GuardViolation(
+            "bad state input: " + "; ".join(i.render() for i in incidents)
+        )
+    if policy == "clamp":
+        finite_prices = price[np.isfinite(price) & (price >= 0)]
+        fallback_price = float(finite_prices.max()) if finite_prices.size else 1.0
+        avail = np.where(a_bad, 0.0, avail)
+        price = np.where(p_inf | (p_nan & p_bad), fallback_price, price)
+        price = np.where(p_neg, 0.0, price)
+        missing = bool(np.isnan(avail).any() or np.isnan(price).any())
+        return ClusterState(avail, price, missing_ok=missing), tuple(incidents)
+    # "hold": mark bad entries missing; prepare_state fills them with
+    # the last-known-good value (fail-safe defaults before one exists).
+    avail = np.where(a_bad, np.nan, avail)
+    price = np.where(p_bad, np.nan, price)
+    return ClusterState(avail, price, missing_ok=True), tuple(incidents)
+
+
+def _forward_fill(column: np.ndarray, bad: np.ndarray, fallback: float) -> np.ndarray:
+    """Replace bad entries with the previous good value along axis 0."""
+    out = column.copy()
+    last = fallback
+    for t in range(out.shape[0]):
+        if bad[t]:
+            out[t] = last
+        else:
+            last = out[t]
+    return out
+
+
+def sanitize_trace_arrays(
+    arrivals: np.ndarray,
+    availability: np.ndarray,
+    prices: np.ndarray,
+    policy: str = "raise",
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Tuple[GuardIncident, ...]]:
+    """Screen whole scenario traces (time on axis 0) before building them.
+
+    Same three policies as :func:`sanitize_state`; under ``"hold"`` bad
+    entries take the previous good value in the same series
+    (forward-fill), with the clamp fail-safe for leading bad entries.
+    Arrivals have no "last-known-good" semantics — a corrupt arrival
+    count becomes zero under both repair policies (inventing jobs is
+    never fail-safe).
+    """
+    _require_policy(policy)
+    arrivals = np.array(arrivals, dtype=np.float64)
+    availability = np.array(availability, dtype=np.float64)
+    prices = np.array(prices, dtype=np.float64)
+
+    masks = {
+        "arrivals": _masks(arrivals),
+        "availability": _masks(availability),
+        "prices": _masks(prices),
+    }
+    bad = {
+        name: (nan | inf | neg) for name, (nan, inf, neg) in masks.items()
+    }
+    if not any(m.any() for m in bad.values()):
+        return arrivals, availability, prices, ()
+
+    incidents: List[GuardIncident] = []
+    for name, (nan, inf, neg) in masks.items():
+        _note(incidents, name, policy, nan=nan, inf=inf, negative=neg)
+    if policy == "raise":
+        raise GuardViolation(
+            "bad trace input: " + "; ".join(i.render() for i in incidents)
+        )
+
+    arrivals = np.where(bad["arrivals"], 0.0, arrivals)
+    finite_prices = prices[np.isfinite(prices) & (prices >= 0)]
+    fallback_price = float(finite_prices.max()) if finite_prices.size else 1.0
+    if policy == "clamp":
+        availability = np.where(bad["availability"], 0.0, availability)
+        prices = np.where(bad["prices"], fallback_price, prices)
+        prices = np.where(masks["prices"][2], 0.0, prices)
+    else:  # "hold": forward-fill per series
+        flat_avail = availability.reshape(availability.shape[0], -1)
+        flat_bad = bad["availability"].reshape(availability.shape[0], -1)
+        for col in range(flat_avail.shape[1]):
+            flat_avail[:, col] = _forward_fill(
+                flat_avail[:, col], flat_bad[:, col], 0.0
+            )
+        availability = flat_avail.reshape(availability.shape)
+        for col in range(prices.shape[1] if prices.ndim > 1 else 1):
+            series = prices[:, col] if prices.ndim > 1 else prices
+            series_bad = bad["prices"][:, col] if prices.ndim > 1 else bad["prices"]
+            filled = _forward_fill(series, series_bad, fallback_price)
+            if prices.ndim > 1:
+                prices[:, col] = filled
+            else:
+                prices = filled
+    return arrivals, availability, prices, tuple(incidents)

@@ -29,11 +29,15 @@ from repro.runner.collect import (
     simulation_collector_names,
 )
 from repro.runner.engine import (
+    CheckpointPolicy,
     RunnerStats,
+    checkpoint_policy,
     reset_stats,
+    resume_from_checkpoint,
     run_many,
     run_spec,
     runner_stats,
+    set_checkpoint_policy,
 )
 from repro.runner.result import RunResult
 from repro.runner.spec import SCENARIO_KINDS, RunSpec, ScenarioSpec
@@ -42,16 +46,20 @@ __all__ = [
     "DEFAULT_CACHE_DIR",
     "SCENARIO_KINDS",
     "SCHEMA_TAG",
+    "CheckpointPolicy",
     "ResultCache",
     "RunResult",
     "RunSpec",
     "RunnerStats",
     "ScenarioSpec",
     "cache_key",
+    "checkpoint_policy",
     "collect_value",
     "default_cache",
     "reset_stats",
+    "resume_from_checkpoint",
     "run_many",
+    "set_checkpoint_policy",
     "run_spec",
     "runner_stats",
     "scenario_collector_names",

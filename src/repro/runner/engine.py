@@ -29,12 +29,85 @@ from typing import Sequence
 from repro._contracts import contracts_enabled, queue_bound_observer
 from repro._validation import require_integer
 from repro.obs.registry import stats_registry
+from repro.resilient.checkpoint import DEFAULT_CHECKPOINT_DIR, Checkpointer
 from repro.runner.cache import ResultCache, cache_key
 from repro.runner.collect import collect_value
 from repro.runner.result import RunResult
 from repro.runner.spec import RunSpec
 
-__all__ = ["RunnerStats", "reset_stats", "run_many", "run_spec", "runner_stats"]
+__all__ = [
+    "CheckpointPolicy",
+    "RunnerStats",
+    "checkpoint_policy",
+    "reset_stats",
+    "resume_from_checkpoint",
+    "run_many",
+    "run_spec",
+    "runner_stats",
+    "set_checkpoint_policy",
+]
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """How (and whether) the engine checkpoints the runs it launches.
+
+    Only *cacheable* specs are checkpointed — a run carrying a live
+    scheduler/cost-model override has no stable content address to key
+    the snapshot by (mirroring the cache's own rule).
+
+    Parameters
+    ----------
+    every:
+        Snapshot period in slots (``None``: no periodic saves).
+    resume:
+        Restore from an existing snapshot before running (a missing or
+        stale snapshot silently falls back to a fresh run).
+    directory:
+        Where snapshots live; default ``.repro_cache/checkpoints``.
+    kill_at:
+        Crash drill: kill each run (with a final snapshot) once this
+        many slots completed, raising
+        :class:`~repro.resilient.checkpoint.SimulationKilled`.
+    """
+
+    every: int | None = None
+    resume: bool = False
+    directory: str = str(DEFAULT_CHECKPOINT_DIR)
+    kill_at: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.every is not None:
+            require_integer(self.every, "checkpoint every", minimum=1)
+        if self.kill_at is not None:
+            require_integer(self.kill_at, "kill_at", minimum=1)
+
+    @property
+    def active(self) -> bool:
+        return self.every is not None or self.resume or self.kill_at is not None
+
+    def checkpointer_for(self, key: str) -> Checkpointer | None:
+        if not self.active or not key:
+            return None
+        return Checkpointer(
+            key=key, every=self.every, directory=self.directory, kill_at=self.kill_at
+        )
+
+
+# The CLI configures checkpointing process-wide; the policy also ships
+# inside each task tuple so jobs > 1 worker processes see it.
+_CHECKPOINT_POLICY: CheckpointPolicy | None = None
+
+
+def set_checkpoint_policy(policy: CheckpointPolicy | None) -> None:
+    """Install (or clear) the process-wide checkpoint policy."""
+    global _CHECKPOINT_POLICY
+    _CHECKPOINT_POLICY = policy
+
+
+def checkpoint_policy() -> CheckpointPolicy | None:
+    """The currently installed process-wide checkpoint policy."""
+    return _CHECKPOINT_POLICY
 
 
 @dataclass(frozen=True)
@@ -76,10 +149,12 @@ def reset_stats() -> None:
 def _execute_task(task: tuple) -> RunResult:
     """Materialize and run one spec; returns the picklable result.
 
-    *task* is ``(key, spec, scenario, scheduler, cost_model)`` where the
-    last three are optional overrides (``None`` = build from the spec).
+    *task* is ``(key, spec, scenario, scheduler, cost_model, ckpt)``
+    where the middle three are optional overrides (``None`` = build
+    from the spec) and *ckpt* is an optional
+    :class:`CheckpointPolicy`.
     """
-    key, spec, scenario, scheduler, cost_model = task
+    key, spec, scenario, scheduler, cost_model, ckpt = task
     if scenario is None:
         if spec.scenario is None:
             raise ValueError(
@@ -108,13 +183,18 @@ def _execute_task(task: tuple) -> RunResult:
         observers = []
         if spec.queue_bound is not None:
             observers.append(queue_bound_observer(spec.queue_bound))
+        checkpointer = ckpt.checkpointer_for(key) if ckpt is not None else None
         result = Simulator(
             scenario,
             scheduler,
             cost_model=cost_model,
             injector=injector,
             observers=observers,
-        ).run(spec.horizon)
+        ).run(
+            spec.horizon,
+            checkpointer=checkpointer,
+            resume=ckpt.resume if ckpt is not None else False,
+        )
 
     series = {
         name: collect_value(name, scenario, result) for name in spec.collect
@@ -134,6 +214,7 @@ def run_many(
     schedulers: Sequence | None = None,
     cost_models: Sequence | None = None,
     progress: bool = False,
+    checkpoint: CheckpointPolicy | None = None,
 ) -> list:
     """Execute *specs* and return one :class:`RunResult` per spec, in order.
 
@@ -154,6 +235,11 @@ def run_many(
         — a live object has no stable content address.
     progress:
         Print a one-line cache/execution report to stderr when done.
+    checkpoint:
+        Optional :class:`CheckpointPolicy`; defaults to the
+        process-wide policy installed by :func:`set_checkpoint_policy`
+        (``None`` = no checkpointing).  Applies only to cacheable
+        specs, whose cache key names the snapshot.
     """
     specs = list(specs)
     require_integer(jobs, "jobs", minimum=1)
@@ -165,6 +251,9 @@ def run_many(
         # Cache hits would skip the run entirely, silently skipping the
         # runtime contracts the caller asked for; always execute.
         cache = None
+    ckpt = checkpoint if checkpoint is not None else _CHECKPOINT_POLICY
+    if ckpt is not None and not ckpt.active:
+        ckpt = None
 
     results: dict = {}
     pending: list = []
@@ -178,7 +267,7 @@ def run_many(
             if hit is not None:
                 results[index] = hit.as_cached()
                 continue
-        pending.append((index, (key, spec, scenario, scheduler, cost_model)))
+        pending.append((index, (key, spec, scenario, scheduler, cost_model, ckpt)))
 
     if pending:
         if jobs == 1 or len(pending) == 1:
@@ -215,3 +304,27 @@ def run_spec(
 ) -> RunResult:
     """Convenience wrapper: execute a single spec in-process."""
     return run_many([spec], jobs=1, cache=cache, scenario=scenario)[0]
+
+
+def resume_from_checkpoint(
+    spec: RunSpec,
+    cache: ResultCache | None = None,
+    scenario=None,
+    every: int | None = None,
+    directory: str | None = None,
+) -> RunResult:
+    """Finish *spec*'s interrupted run from its on-disk checkpoint.
+
+    The snapshot is located by the spec's cache key, restored, and the
+    run continued to completion — bit-identical to never having been
+    interrupted.  With no usable snapshot the spec simply runs from
+    scratch, so calling this on a completed (or never-started) spec is
+    safe.  *every* keeps periodic checkpointing on during the resumed
+    portion.
+    """
+    policy = CheckpointPolicy(
+        every=every,
+        resume=True,
+        directory=directory if directory is not None else str(DEFAULT_CHECKPOINT_DIR),
+    )
+    return run_many([spec], jobs=1, cache=cache, scenario=scenario, checkpoint=policy)[0]

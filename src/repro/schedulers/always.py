@@ -21,8 +21,8 @@ from repro.model.action import Action
 from repro.model.cluster import Cluster
 from repro.model.queues import QueueNetwork
 from repro.model.state import ClusterState
-from repro.optimize.greedy import solve_greedy
 from repro.optimize.slot_problem import SlotServiceProblem
+from repro.resilient.supervisor import solve_service
 from repro.schedulers.base import Scheduler, route_greedily, service_upper_bounds
 
 __all__ = ["AlwaysScheduler"]
@@ -51,5 +51,5 @@ class AlwaysScheduler(Scheduler):
             v=0.0,
             beta=0.0,
         )
-        h = problem.clip_feasible(solve_greedy(problem))
+        h = solve_service(problem, primary="greedy", slot=t)
         return Action(route, h, problem.busy_for(h))

@@ -19,6 +19,7 @@ from repro.core.objective import CostModel
 from repro.model.queues import QueueNetwork
 from repro.obs.events import SlotTraceEvent
 from repro.obs.registry import metrics_registry
+from repro.resilient.checkpoint import CheckpointError, Checkpointer, SimulationKilled
 from repro.schedulers.base import Scheduler
 from repro.simulation.metrics import MetricsCollector, SimulationSummary
 from repro.simulation.trace import Scenario
@@ -94,8 +95,26 @@ class Simulator:
         self.observers = list(observers) if observers is not None else []
         self.injector = injector
 
-    def run(self, horizon: int | None = None) -> SimulationResult:
-        """Simulate *horizon* slots (default: the whole scenario)."""
+    def run(
+        self,
+        horizon: int | None = None,
+        checkpointer: Checkpointer | None = None,
+        resume: bool = False,
+    ) -> SimulationResult:
+        """Simulate *horizon* slots (default: the whole scenario).
+
+        With a :class:`~repro.resilient.checkpoint.Checkpointer` the
+        full run state is snapshotted atomically after every
+        ``checkpointer.every`` completed slots (and the snapshot is
+        removed again when the run finishes).  With ``resume=True`` and
+        a usable snapshot on disk, the run restores every stateful
+        object — queues, metrics, scheduler (including RNG state),
+        admission policy, fault injector — and continues from the next
+        slot; because the restored state is exactly the uninterrupted
+        run's state at that slot, the final metrics and trace are
+        bit-identical to never having been interrupted.  Observers see
+        only post-resume slots.
+        """
         scenario = self.scenario
         if horizon is None:
             horizon = scenario.horizon
@@ -103,20 +122,40 @@ class Simulator:
             raise ValueError(
                 f"horizon must be in (0, {scenario.horizon}], got {horizon}"
             )
+        if resume and checkpointer is None:
+            raise ValueError("resume=True requires a checkpointer")
         cluster = scenario.cluster
-        queues = QueueNetwork(cluster)
-        metrics = MetricsCollector(num_datacenters=cluster.num_datacenters)
-        self.scheduler.reset()
-        if self.admission is not None:
-            self.admission.reset()
-        injector = self.injector
-        if injector is not None:
-            injector.reset()
+        start = 0
+        snapshot = checkpointer.load() if (checkpointer and resume) else None
+        if snapshot is not None:
+            start = int(snapshot["next_slot"])
+            if start > horizon:
+                raise CheckpointError(
+                    f"checkpoint is {start} slots in, past the requested "
+                    f"horizon {horizon}"
+                )
+            queues = snapshot["queues"]
+            metrics = snapshot["metrics"]
+            self.scheduler = snapshot["scheduler"]
+            self.admission = snapshot["admission"]
+            self.injector = snapshot["injector"]
+            injector = self.injector
+            dropped = float(snapshot["dropped"])
+            admitted_total = float(snapshot["admitted_total"])
+        else:
+            queues = QueueNetwork(cluster)
+            metrics = MetricsCollector(num_datacenters=cluster.num_datacenters)
+            self.scheduler.reset()
+            if self.admission is not None:
+                self.admission.reset()
+            injector = self.injector
+            if injector is not None:
+                injector.reset()
+            dropped = 0.0
+            admitted_total = 0.0
 
         reg = metrics_registry()
-        dropped = 0.0
-        admitted_total = 0.0
-        for t in range(horizon):
+        for t in range(start, horizon):
             slot_start = reg.clock() if reg.enabled else 0.0
             state = scenario.state_at(t)
             requeued = None
@@ -185,7 +224,27 @@ class Simulator:
                         served_jobs=served_jobs,
                     )
                 )
+            if checkpointer is not None:
+                completed = t + 1
+                saved = False
+                if checkpointer.due(completed):
+                    self._save_checkpoint(
+                        checkpointer, completed, queues, metrics, injector,
+                        dropped, admitted_total,
+                    )
+                    saved = True
+                if checkpointer.should_kill(completed):
+                    # Crash drill: always leave a resumable snapshot at
+                    # the exact kill slot before dying.
+                    if not saved:
+                        self._save_checkpoint(
+                            checkpointer, completed, queues, metrics, injector,
+                            dropped, admitted_total,
+                        )
+                    raise SimulationKilled(completed, checkpointer.path)
 
+        if checkpointer is not None:
+            checkpointer.clear()
         summary = metrics.summary(
             self.scheduler.name,
             queues,
@@ -195,6 +254,25 @@ class Simulator:
             requeued=injector.requeued_jobs if injector is not None else 0.0,
         )
         return SimulationResult(summary=summary, metrics=metrics, queues=queues)
+
+    def _save_checkpoint(
+        self, checkpointer, next_slot, queues, metrics, injector,
+        dropped, admitted_total,
+    ) -> None:
+        """Snapshot everything the loop mutates (see resilient.checkpoint)."""
+        checkpointer.save(
+            {
+                "next_slot": int(next_slot),
+                "scheduler_name": self.scheduler.name,
+                "queues": queues,
+                "metrics": metrics,
+                "scheduler": self.scheduler,
+                "admission": self.admission,
+                "injector": injector,
+                "dropped": float(dropped),
+                "admitted_total": float(admitted_total),
+            }
+        )
 
 
 def run_comparison(

@@ -547,6 +547,59 @@ class PerfClockRule(Rule):
                 )
 
 
+# ----------------------------------------------------------------------
+# GF008 — solver-backend routing
+# ----------------------------------------------------------------------
+class SolverRoutingRule(Rule):
+    """Slot solves in scheduler/experiment code run supervised.
+
+    A direct ``solve_lp``/``solve_qp``/``solve_greedy``/
+    ``solve_projected_gradient`` call is an unguarded single point of
+    failure: one :class:`~repro.optimize.SolverFailure` (or a NaN
+    result) escapes the slot and loses the whole horizon.  Routing
+    through :mod:`repro.resilient` — ``solve_service(problem, ...)`` or
+    a :class:`~repro.resilient.supervisor.SupervisedSolver` — validates
+    the result and degrades down the fallback chain instead.  The
+    backends themselves (``optimize/``) and the supervision layer
+    (``resilient/``) are out of scope by construction.
+    """
+
+    id = "GF008"
+    title = "scheduler/experiment code calls solver backends via repro.resilient"
+    rationale = (
+        "a direct solve_* backend call is an unguarded single point of "
+        "failure — one solver exception loses the run; solve_service/"
+        "SupervisedSolver validate the result and degrade down the "
+        "fallback chain."
+    )
+    scope = ("core/", "schedulers/", "simulation/", "experiments/", "analysis/")
+
+    _BACKEND_NAMES = {
+        "solve_greedy",
+        "solve_lp",
+        "solve_qp",
+        "solve_projected_gradient",
+    }
+
+    def check(self, ctx: "ModuleContext") -> Iterator[Violation]:
+        imports = _import_map(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            canonical = _canonical_call(node, imports)
+            if canonical is None:
+                continue
+            tail = canonical.rsplit(".", 1)[-1]
+            if tail in self._BACKEND_NAMES and canonical.startswith("repro.optimize"):
+                yield (
+                    node,
+                    f"direct solver-backend call {tail}(); route through "
+                    "repro.resilient (solve_service / SupervisedSolver) so "
+                    "a backend failure degrades down the fallback chain "
+                    "instead of losing the run",
+                )
+
+
 RULES: tuple[Rule, ...] = (
     DeterminismRule(),
     QueueHygieneRule(),
@@ -555,6 +608,7 @@ RULES: tuple[Rule, ...] = (
     FloatEqualityRule(),
     RunnerRoutingRule(),
     PerfClockRule(),
+    SolverRoutingRule(),
 )
 
 RULE_REGISTRY: dict = {rule.id: rule for rule in RULES}

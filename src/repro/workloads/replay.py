@@ -102,11 +102,21 @@ def save_scenario_csv(scenario, directory: str | Path) -> None:
                 writer.writerow([t, i, *scenario.availability[t, i].tolist()])
 
 
-def load_scenario_csv(cluster: Cluster, directory: str | Path):
+def load_scenario_csv(
+    cluster: Cluster, directory: str | Path, guard_policy: str | None = None
+):
     """Load a scenario exported by :func:`save_scenario_csv`.
 
     The cluster provides the dimensions and validation; the CSVs provide
     the time series.  Returns a :class:`~repro.simulation.trace.Scenario`.
+
+    Replayed traces are the classic entry point for NaN/Inf/negative
+    garbage (a stale price feed, a half-exported sheet).  With
+    *guard_policy* set (``"raise"``, ``"clamp"`` or ``"hold"``) the
+    arrays pass through
+    :func:`repro.resilient.guards.sanitize_trace_arrays` before the
+    :class:`Scenario` is built; ``None`` (default) keeps today's strict
+    behavior — ``Scenario`` itself rejects non-finite values.
     """
     from repro.simulation.trace import Scenario
 
@@ -140,6 +150,12 @@ def load_scenario_csv(cluster: Cluster, directory: str | Path):
     if not seen.all():
         missing = int((~seen).sum())
         raise ValueError(f"availability.csv: {missing} (slot, site) rows missing")
+    if guard_policy is not None:
+        from repro.resilient.guards import sanitize_trace_arrays
+
+        arrivals, availability, prices, _ = sanitize_trace_arrays(
+            arrivals, availability, prices, policy=guard_policy
+        )
     return Scenario(
         cluster=cluster,
         arrivals=arrivals,

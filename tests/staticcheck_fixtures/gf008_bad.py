@@ -1,0 +1,12 @@
+"""GF008 self-test fixture: scheduler code calling solver backends raw."""
+
+from repro.optimize import solve_lp
+from repro.optimize.greedy import solve_greedy as greedy
+
+
+def decide_direct(problem):
+    return problem.clip_feasible(greedy(problem))  # GF008: unsupervised solve
+
+
+def decide_lp(problem):
+    return solve_lp(problem)  # GF008: one SolverFailure loses the run

@@ -1,0 +1,13 @@
+"""GF008 self-test fixture: slot solves routed through the supervisor."""
+
+from repro.resilient import SupervisedSolver
+from repro.resilient.supervisor import solve_service
+
+
+def decide(problem, t):
+    return solve_service(problem, primary="greedy", slot=t)
+
+
+def decide_supervised(problem, t, supervisor=None):
+    supervisor = supervisor or SupervisedSolver()
+    return supervisor.solve(problem, primary="lp", slot=t).h

@@ -67,3 +67,49 @@ class TestCommands:
         assert main(["experiment", "theorem1", "--horizon", "48"]) == 0
         out = capsys.readouterr().out
         assert "Theorem 1" in out
+
+
+class TestSupervisionCommands:
+    def test_run_json_is_machine_comparable(self, capsys):
+        import json
+
+        assert main(["run", "--horizon", "20", "--json", "--no-cache"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scheduler"].startswith("GreFar")
+
+    def test_chaos_drill(self, capsys):
+        code = main(
+            ["chaos", "--scenario", "small", "--horizon", "40",
+             "--fail-rate", "0.3", "--v", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "faults injected" in out
+        assert "OK:" in out
+
+    def test_chaos_rejects_bad_fail_rate(self, capsys):
+        assert main(["chaos", "--fail-rate", "2.0"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_checkpoint_flags_rejected_when_invalid(self, capsys):
+        assert main(["run", "--kill-at", "0", "--no-cache"]) == 2
+        assert main(["run", "--checkpoint-every", "-5", "--no-cache"]) == 2
+        assert main(["experiment", "table1", "--checkpoint-every", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+
+    def test_kill_and_resume_round_trip(self, tmp_path, monkeypatch, capsys):
+        import json
+
+        monkeypatch.chdir(tmp_path)
+        base = ["run", "--horizon", "40", "--v", "5", "--json", "--no-cache"]
+        assert main(base + ["--checkpoint-every", "10", "--kill-at", "20"]) == 3
+        captured = capsys.readouterr()
+        assert "resume" in captured.err
+        assert list((tmp_path / ".repro_cache" / "checkpoints").glob("*.ckpt"))
+
+        assert main(base + ["--resume"]) == 0
+        resumed = json.loads(capsys.readouterr().out)
+        assert main(base) == 0
+        fresh = json.loads(capsys.readouterr().out)
+        assert resumed == fresh

@@ -77,6 +77,17 @@ def test_golden_trace_reproduces_bit_for_bit():
     assert computed == stored
 
 
+def test_golden_run_records_zero_solver_incidents():
+    # The golden run predates the supervision layer; that it still
+    # reproduces bit-for-bit (above) proves the supervisor changes no
+    # decision on healthy inputs.  Make the mechanism explicit too: the
+    # supervised golden run must record zero incidents and never degrade.
+    scenario = small_scenario(horizon=HORIZON, seed=SEED)
+    scheduler = GreFarScheduler(scenario.cluster, v=V, beta=0.0)
+    Simulator(scenario, scheduler).run()
+    assert scheduler.supervisor.incident_count == 0
+
+
 def test_golden_trace_fixture_shape():
     stored = json.loads(GOLDEN.read_text(encoding="utf-8"))
     assert stored["config"]["horizon"] == HORIZON == len(stored["slots"])

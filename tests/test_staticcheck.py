@@ -1,6 +1,6 @@
 """Self-tests for the project static checker (repro.tools.staticcheck).
 
-Each rule GF001-GF007 gets one deliberately-bad fixture it must flag and
+Each rule GF001-GF008 gets one deliberately-bad fixture it must flag and
 one clean fixture it must pass; the fixtures live in
 ``tests/staticcheck_fixtures/`` and are parsed, never imported.
 """
@@ -32,6 +32,7 @@ RULE_CASES = [
     ("GF005", "gf005_bad.py", 2, "gf005_good.py"),
     ("GF006", "gf006_bad.py", 2, "gf006_good.py"),
     ("GF007", "gf007_bad.py", 3, "gf007_good.py"),
+    ("GF008", "gf008_bad.py", 2, "gf008_good.py"),
 ]
 
 
@@ -100,6 +101,7 @@ def test_rule_ids_registry():
         "GF005",
         "GF006",
         "GF007",
+        "GF008",
     ]
 
 
