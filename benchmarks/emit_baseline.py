@@ -3,9 +3,13 @@
 Profiles the standard configurations — the paper scenario with the
 greedy-backed GreFar, the fairness (beta > 0) QP path, and the small
 scenario — through :func:`repro.obs.profile.profile_run` and writes the
-schema-versioned baseline via :mod:`repro.obs.baseline`.  Run it after
-any hot-path change and commit nothing: the artifact is a local/CI
-reference point, compared by eye or by tooling, not a test fixture.
+schema-versioned baseline via :mod:`repro.obs.baseline`.  The newest
+``BENCH_<date>.json`` is committed at the repo root as the reference
+point: the CI ``bench`` job re-emits a quick baseline and gates it with
+``python -m repro.obs.baseline --compare`` so an order-of-magnitude
+hot-path regression fails the build (the tolerance is generous because
+runner hardware varies).  Re-run and re-commit after intentional
+performance changes.
 
 Usage::
 

@@ -1,0 +1,137 @@
+"""Drive a live scheduler gateway end to end from the client side.
+
+Spawns ``repro serve`` as a subprocess (small scenario, manual ticks),
+submits job batches for both accounts — including one deliberately
+oversized batch to show the 422 and a burst that triggers 429
+backpressure — ticks a few slots, and prints the placement, queue and
+fairness views the gateway serves.  Everything speaks the stdlib
+:class:`repro.service.ServiceClient`; no third-party HTTP stack.
+
+Run with:  PYTHONPATH=src python examples/service_client.py
+
+Against an already-running gateway, set ``REPRO_GATEWAY_URL`` instead
+(e.g. ``REPRO_GATEWAY_URL=http://127.0.0.1:8080``) and the example
+skips spawning its own.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+from repro.service import ServiceClient, ServiceClientError
+
+
+def spawn_gateway() -> tuple:
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--scenario",
+            "small",
+            "--v",
+            "10.0",
+            "--capacity-slots",
+            "50",
+            "--port",
+            "0",
+            "--data-dir",
+            ".repro_cache/service-example",
+        ],
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    line = proc.stdout.readline().strip()  # "listening on http://host:port"
+    return proc, ServiceClient(line.split("listening on ", 1)[1])
+
+
+def main() -> None:
+    url = os.environ.get("REPRO_GATEWAY_URL")
+    proc = None
+    if url:
+        client = ServiceClient(url)
+    else:
+        proc, client = spawn_gateway()
+
+    health = client.health()
+    print(f"gateway: {health['scheduler']}, slot {health['next_slot']}")
+    for account in client.accounts():
+        types = ", ".join(
+            f"{jt['name']} (A_max={jt['max_arrivals']})"
+            for jt in account["job_types"]
+        )
+        print(
+            f"  account {account['account']} "
+            f"(fair share {account['fair_share']:.0%}): {types}"
+        )
+
+    # Normal submissions: one batch per account, acknowledged with 202.
+    for account, job_type, count in [(0, 0, 20), (1, 1, 4)]:
+        ack = client.submit(account, job_type, count)
+        print(
+            f"accepted {ack['submission_id']}: {count} jobs of type "
+            f"{job_type} ({ack['pending_jobs']} pending)"
+        )
+
+    # A batch above the per-slot arrival bound is a permanent 422 —
+    # no slot could ever absorb it, so the gateway refuses up front.
+    try:
+        client.submit(0, 0, 51)
+    except ServiceClientError as exc:
+        print(f"oversized batch refused: {exc.status} {exc.code}")
+
+    # Hammer one account until the token bucket pushes back with a 429
+    # + Retry-After; submit(wait=True) would sleep it out instead.
+    refused = 0
+    for _ in range(100):
+        try:
+            client.submit(1, 1, 5)
+        except ServiceClientError as exc:
+            if exc.status != 429:
+                raise
+            refused += 1
+            print(
+                f"backpressure after burst: 429 {exc.code}, "
+                f"Retry-After {exc.retry_after:.0f}s"
+            )
+            break
+    if not refused:
+        print("burst fully absorbed (rate limit not reached)")
+
+    # Advance the scheduler and look at what it did with the work.
+    client.tick(3)
+    for record in client.slots():
+        print(
+            f"slot {record['slot']}: arrivals {record['arrivals']}, "
+            f"served {record['served_jobs']:.0f}, "
+            f"energy {record['energy_cost']:.2f}, "
+            f"placement {['%.1f' % w for w in record['work_per_dc']]}"
+        )
+
+    fairness = client.fairness()
+    for account, (work, share) in enumerate(
+        zip(fairness["cumulative_work"], fairness["fair_shares"])
+    ):
+        print(
+            f"account {account}: {work:.1f} work served "
+            f"(entitled share {share:.0%})"
+        )
+
+    summary = client.stats()
+    print(
+        f"after {summary['horizon']} slots: "
+        f"avg energy {summary['avg_energy_cost']:.2f}, "
+        f"{summary['total_served_jobs']:.0f} jobs served"
+    )
+
+    if proc is not None:
+        client.shutdown()
+        proc.wait(timeout=15)
+        print("gateway shut down cleanly (final checkpoint written)")
+
+
+if __name__ == "__main__":
+    main()

@@ -25,7 +25,12 @@ The package provides:
 * a supervision layer (:mod:`repro.resilient`): supervised slot solves
   with fallback chains (no backend exception escapes a slot),
   NaN/Inf/negative input guards, and atomic checkpoint/resume that is
-  bit-identical to an uninterrupted run.
+  bit-identical to an uninterrupted run;
+* a serving layer (:mod:`repro.service`): a REST/JSON gateway
+  (``repro serve``) accepting streaming job submissions with
+  backpressure and per-account rate limits, slot-ticking GreFar live,
+  answering placement/fairness/metrics queries, and restarting from
+  ckpt-v1 checkpoints without losing acknowledged submissions.
 
 Quickstart::
 
@@ -115,6 +120,11 @@ from repro.runner import (
     run_spec,
     set_checkpoint_policy,
 )
+from repro.service import (
+    SchedulerService,
+    ServiceClient,
+    ServiceConfig,
+)
 from repro.schedulers import (
     AlwaysScheduler,
     LookaheadPolicy,
@@ -195,6 +205,9 @@ __all__ = [
     "Scenario",
     "ScenarioSpec",
     "Scheduler",
+    "SchedulerService",
+    "ServiceClient",
+    "ServiceConfig",
     "ServerClass",
     "SimulationKilled",
     "SimulationResult",

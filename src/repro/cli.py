@@ -12,6 +12,8 @@ Usage (also available as ``python -m repro.cli``)::
     repro resilience --dc 1 --start 150 --duration 60   # outage drill
     repro chaos --fail-rate 0.15 --horizon 300          # solver-fault drill
     repro profile --scenario default --horizon 200      # hot-path table
+    repro serve --scenario small --slot-seconds 1       # live gateway
+    repro serve --scenario small --resume               # restart after a kill
     repro cache info                          # result-cache statistics
     repro lint src/repro --format json        # project static checker
 
@@ -456,7 +458,7 @@ def _cmd_cache(args) -> int:
 
 
 def _cmd_lint(args) -> int:
-    """Run the project-specific static checker (GF001-GF007)."""
+    """Run the project-specific static checker (GF001-GF009)."""
     from repro.tools.staticcheck.cli import run as staticcheck_run
     from repro.tools.staticcheck.reporters import render_rule_listing
 
@@ -497,6 +499,39 @@ def _cmd_profile(args) -> int:
         path = write_baseline([report], path=args.output)
         print(f"baseline: {path}")
     return 0
+
+
+def _cmd_serve(args) -> int:
+    """Run the scheduler-as-a-service gateway (docs/SERVICE.md).
+
+    Accepts streaming job submissions over REST/JSON with backpressure
+    and per-account rate limits, ticks GreFar on a wall-clock slot
+    schedule (or manual ``POST /v1/admin/tick`` when ``--slot-seconds``
+    is omitted), checkpoints every completed slot batch, and with
+    ``--resume`` restarts from the last ckpt-v1 snapshot without losing
+    any acknowledged submission.
+    """
+    from repro.service import ServiceConfig, serve
+
+    try:
+        config = ServiceConfig(
+            scenario_kind=args.scenario,
+            scenario_seed=args.seed,
+            capacity_slots=args.capacity_slots,
+            scheduler=args.scheduler,
+            scheduler_kwargs=_scheduler_kwargs_from_args(args.scheduler, args),
+            cost_beta=args.cost_beta,
+            intake_capacity=args.intake_capacity,
+            rate=args.rate,
+            burst=args.burst,
+            slot_seconds=args.slot_seconds,
+            checkpoint_every=args.checkpoint_every,
+            data_dir=args.data_dir,
+        )
+    except (TypeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return serve(config, host=args.host, port=args.port, resume=args.resume)
 
 
 def _cmd_experiment(args) -> int:
@@ -687,6 +722,77 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--horizon", type=int, default=300)
     chaos.add_argument("--seed", type=int, default=0)
 
+    serve = sub.add_parser(
+        "serve", help="run the live job-submission gateway (docs/SERVICE.md)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0, help="TCP port (0 = ephemeral; printed)"
+    )
+    serve.add_argument(
+        "--scenario",
+        choices=("paper", "small"),
+        default="small",
+        help="environment trace (availability, prices); arrivals are live",
+    )
+    serve.add_argument("--scheduler", choices=scheduler_names(), default="grefar")
+    serve.add_argument("--v", type=float, default=7.5)
+    serve.add_argument("--beta", type=float, default=0.0)
+    serve.add_argument("--threshold", type=float, default=0.4)
+    serve.add_argument(
+        "--cost-beta", type=float, default=0.0, help="measurement beta for g(t)"
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--capacity-slots",
+        type=int,
+        default=500,
+        metavar="T",
+        help="pre-generated environment horizon; the service stops there",
+    )
+    serve.add_argument(
+        "--slot-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="wall-clock seconds per slot (omit for manual "
+        "POST /v1/admin/tick ticking)",
+    )
+    serve.add_argument(
+        "--intake-capacity",
+        type=int,
+        default=200,
+        metavar="JOBS",
+        help="intake buffer bound; beyond it submissions get 429 + Retry-After",
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=100.0,
+        help="per-account sustained rate limit (jobs/second)",
+    )
+    serve.add_argument(
+        "--burst", type=float, default=200.0, help="per-account burst budget (jobs)"
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="ckpt-v1 snapshot after every N completed slots",
+    )
+    serve.add_argument(
+        "--data-dir",
+        default=".repro_cache/service",
+        help="root for write-ahead logs and service checkpoints",
+    )
+    serve.add_argument(
+        "--resume",
+        action="store_true",
+        help="restart from the last checkpoint + write-ahead log "
+        "(no acknowledged submission is lost)",
+    )
+
     cache = sub.add_parser("cache", help="inspect or clear the result cache")
     cache.add_argument("action", choices=("info", "clear"))
 
@@ -711,6 +817,7 @@ _COMMANDS = {
     "resilience": _cmd_resilience,
     "chaos": _cmd_chaos,
     "profile": _cmd_profile,
+    "serve": _cmd_serve,
     "experiment": _cmd_experiment,
     "cache": _cmd_cache,
     "lint": _cmd_lint,

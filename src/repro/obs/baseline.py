@@ -15,6 +15,14 @@ a vibe.  The payload is deliberately boring JSON:
 
 ``python -m repro.obs.baseline --validate BENCH_*.json`` checks files
 against the schema and exits non-zero on the first invalid one.
+
+``python -m repro.obs.baseline --compare OLD NEW --tolerance 0.25``
+gates slot throughput: for every (scenario, scheduler) pair present in
+both files, the run fails when ``NEW.slots_per_second`` drops below
+``tolerance * OLD.slots_per_second``.  The CI ``bench`` job uses a
+deliberately generous tolerance — shared runners are noisy, and the
+gate exists to catch order-of-magnitude hot-path regressions, not
+single-digit jitter.
 """
 
 from __future__ import annotations
@@ -30,6 +38,8 @@ import numpy as np
 __all__ = [
     "BENCH_SCHEMA",
     "baseline_payload",
+    "compare_baselines",
+    "compare_baseline_files",
     "default_baseline_path",
     "machine_tag",
     "validate_baseline",
@@ -175,6 +185,65 @@ def _validate_run(run, where: str) -> List[str]:
     return errors
 
 
+# ----------------------------------------------------------------------
+# Throughput comparison (the CI `bench` regression gate)
+# ----------------------------------------------------------------------
+def compare_baselines(old, new, tolerance: float = 0.25) -> List[str]:
+    """Slot-throughput regressions of *new* against *old* (empty = pass).
+
+    Runs are matched on their ``(scenario, scheduler)`` pair.  A pair
+    present in *old* but absent from *new* is a failure (the gate lost
+    coverage silently otherwise); extra pairs in *new* are fine — they
+    become the baseline the day *new* is committed.  *tolerance* is the
+    fraction of the old throughput the new run must still reach.
+    """
+    if not 0.0 < tolerance <= 1.0:
+        raise ValueError(f"tolerance must lie in (0, 1], got {tolerance}")
+    errors = validate_baseline(old)
+    if errors:
+        return [f"old baseline invalid: {error}" for error in errors]
+    errors = validate_baseline(new)
+    if errors:
+        return [f"new baseline invalid: {error}" for error in errors]
+    new_runs = {
+        (run["scenario"], run["scheduler"]): run for run in new["runs"]
+    }
+    problems: List[str] = []
+    for run in old["runs"]:
+        key = (run["scenario"], run["scheduler"])
+        candidate = new_runs.get(key)
+        if candidate is None:
+            problems.append(
+                f"{key[0]}/{key[1]}: present in the old baseline but missing "
+                "from the new one"
+            )
+            continue
+        floor = tolerance * float(run["slots_per_second"])
+        got = float(candidate["slots_per_second"])
+        if got < floor:
+            problems.append(
+                f"{key[0]}/{key[1]}: throughput regressed to {got:.1f} "
+                f"slots/s, below {floor:.1f} "
+                f"({tolerance:g} x old {float(run['slots_per_second']):.1f})"
+            )
+    return problems
+
+
+def compare_baseline_files(
+    old_path: str | Path, new_path: str | Path, tolerance: float = 0.25
+) -> List[str]:
+    """File-level :func:`compare_baselines` (read errors reported, not raised)."""
+    payloads = []
+    for path in (old_path, new_path):
+        try:
+            payloads.append(json.loads(Path(path).read_text(encoding="utf-8")))
+        except OSError as exc:
+            return [f"cannot read {path}: {exc}"]
+        except ValueError as exc:
+            return [f"{path} is not valid JSON: {exc}"]
+    return compare_baselines(payloads[0], payloads[1], tolerance=tolerance)
+
+
 def validate_baseline_file(path: str | Path) -> List[str]:
     """Validation errors for the baseline file at *path* (empty = valid)."""
     try:
@@ -187,23 +256,59 @@ def validate_baseline_file(path: str | Path) -> List[str]:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """``python -m repro.obs.baseline --validate BENCH_*.json``"""
+    """Validate (``--validate FILES``) or gate (``--compare OLD NEW``)."""
     import argparse
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.baseline",
-        description="validate benchmark-baseline files against "
-        f"the {BENCH_SCHEMA} schema",
+        description="validate benchmark-baseline files against the "
+        f"{BENCH_SCHEMA} schema, or compare two for throughput regressions",
     )
-    parser.add_argument(
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
         "--validate",
         action="store_true",
-        required=True,
         help="check each file against the baseline schema",
     )
-    parser.add_argument("paths", nargs="+", help="BENCH_*.json files to check")
+    mode.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("OLD", "NEW"),
+        help="fail when NEW's slot throughput falls below "
+        "tolerance * OLD's for any (scenario, scheduler) pair",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="fraction of the old throughput the new run must reach "
+        "(default 0.25 — catches order-of-magnitude regressions, "
+        "tolerates runner noise)",
+    )
+    parser.add_argument("paths", nargs="*", help="BENCH_*.json files to check")
     args = parser.parse_args(argv)
 
+    if args.compare is not None:
+        if args.paths:
+            parser.error("--compare takes exactly OLD NEW; drop extra paths")
+        old_path, new_path = args.compare
+        try:
+            problems = compare_baseline_files(
+                old_path, new_path, tolerance=args.tolerance
+            )
+        except ValueError as exc:
+            parser.error(str(exc))
+        if problems:
+            for problem in problems:
+                print(f"regression: {problem}")
+            return 1
+        print(
+            f"throughput OK: {new_path} within {args.tolerance:g}x of {old_path}"
+        )
+        return 0
+
+    if not args.paths:
+        parser.error("--validate needs at least one file")
     status = 0
     for path in args.paths:
         errors = validate_baseline_file(path)

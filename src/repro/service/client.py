@@ -1,0 +1,140 @@
+"""A small stdlib client for the gateway (urllib; no dependencies).
+
+:class:`ServiceClient` speaks the ``svc-v1`` wire protocol: JSON in,
+JSON out, HTTP errors surfaced as :class:`ServiceClientError` with the
+server's machine-readable code attached.  ``submit`` can optionally
+honor backpressure for you — on a 429 it waits the server's
+``Retry-After`` and retries, which is exactly the cooperative behavior
+the bounded intake is designed around.
+
+Used by ``examples/service_client.py``, the test suite and the CI smoke
+drill; equally usable from a notebook against a long-running gateway.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Optional
+
+__all__ = ["ServiceClient", "ServiceClientError"]
+
+
+class ServiceClientError(RuntimeError):
+    """A non-2xx reply; carries status, server code and full body."""
+
+    def __init__(self, status: int, body: dict) -> None:
+        self.status = int(status)
+        self.body = dict(body)
+        self.code = str(body.get("error", "error"))
+        self.retry_after = float(body.get("retry_after", 0.0) or 0.0)
+        super().__init__(
+            f"HTTP {status}: {self.code}: {body.get('detail', '(no detail)')}"
+        )
+
+
+class ServiceClient:
+    """Talk to one gateway instance at *base_url*."""
+
+    def __init__(self, base_url: str, timeout: float = 10.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as reply:
+                return json.loads(reply.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                body = json.loads(exc.read().decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                body = {"error": "http_error", "detail": str(exc)}
+            if "retry_after" not in body:
+                retry_header = exc.headers.get("Retry-After")
+                if retry_header is not None:
+                    body["retry_after"] = float(retry_header)
+            raise ServiceClientError(exc.code, body) from None
+
+    def get(self, path: str) -> dict:
+        return self._request("GET", path)
+
+    def post(self, path: str, payload: Optional[dict] = None) -> dict:
+        return self._request("POST", path, payload if payload is not None else {})
+
+    # ------------------------------------------------------------------
+    # Typed convenience wrappers
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return self.get("/v1/health")
+
+    def config(self) -> dict:
+        return self.get("/v1/config")["config"]
+
+    def accounts(self) -> list:
+        return self.get("/v1/accounts")["accounts"]
+
+    def submit(
+        self,
+        account: int,
+        job_type: int,
+        count: int = 1,
+        wait: bool = False,
+        max_retries: int = 10,
+    ) -> dict:
+        """Submit *count* jobs; optionally wait out 429 backpressure.
+
+        With ``wait=True`` a 429 (rate limit or full intake) sleeps the
+        server's ``Retry-After`` and retries, up to *max_retries*
+        times; permanent errors (4xx other than 429) raise immediately.
+        """
+        payload = {"account": account, "job_type": job_type, "count": count}
+        attempts = 0
+        while True:
+            try:
+                return self.post("/v1/jobs", payload)
+            except ServiceClientError as exc:
+                if not wait or exc.status != 429 or attempts >= max_retries:
+                    raise
+                attempts += 1
+                time.sleep(max(exc.retry_after, 0.1))
+
+    def tick(self, slots: int = 1) -> dict:
+        return self.post("/v1/admin/tick", {"slots": slots})
+
+    def checkpoint(self) -> dict:
+        return self.post("/v1/admin/checkpoint")
+
+    def shutdown(self) -> dict:
+        return self.post("/v1/admin/shutdown")
+
+    def queues(self) -> dict:
+        return self.get("/v1/queues")
+
+    def placement(self) -> dict:
+        return self.get("/v1/placement")
+
+    def fairness(self) -> dict:
+        return self.get("/v1/fairness")
+
+    def metrics(self) -> dict:
+        return self.get("/v1/metrics")
+
+    def stats(self) -> dict:
+        return self.get("/v1/stats")["summary"]
+
+    def slots(self, start: int = 0, count: Optional[int] = None) -> list:
+        path = f"/v1/slots?start={start}"
+        if count is not None:
+            path += f"&count={count}"
+        return self.get(path)["records"]

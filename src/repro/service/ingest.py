@@ -1,0 +1,331 @@
+"""Ingestion pipeline: bounded intake, write-ahead log, backpressure.
+
+The gateway decouples *accepting* a submission from *scheduling* it.
+HTTP handler threads are producers into a bounded :class:`IntakeBuffer`;
+the slot ticker is the single consumer, draining whole submissions into
+the next slot's arrival vector.  Three layers make that safe:
+
+* **Backpressure** — the buffer bounds total pending *jobs*.  A
+  submission that would overflow it is refused (the gateway answers
+  429 + ``Retry-After``) rather than queued without bound; nothing is
+  ever dropped silently.
+* **Durability** — every accepted submission is appended to a JSONL
+  write-ahead log and flushed *before* the 202 acknowledgement is
+  produced.  A killed process therefore cannot lose an acknowledged
+  submission: restart replays the log entries newer than the last
+  checkpoint back into the buffer (:mod:`repro.service.state`).
+* **Model bounds** — at drain time each job type contributes at most
+  its per-slot arrival bound ``A_j^max`` (eq. 3); what does not fit
+  stays buffered (FIFO per type) for the next slot, so the live path
+  only ever feeds the queues arrival vectors the offline scenario
+  generators could also have produced.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, TextIO, Tuple
+
+import numpy as np
+
+from repro._validation import require_positive
+from repro.service.ratelimit import AccountRateLimiter
+from repro.service.wire import SubmissionRequest
+
+__all__ = ["IntakeBuffer", "Ingestor", "SubmissionLog", "SubmissionRecord"]
+
+
+@dataclass(frozen=True)
+class SubmissionRecord:
+    """One acknowledged submission, as logged and buffered.
+
+    ``seq`` is the gateway-assigned monotone sequence number; the public
+    submission id is derived from it (``sub-<seq>``), and checkpoint
+    recovery uses it to tell already-snapshotted submissions from ones
+    only the write-ahead log remembers.
+    """
+
+    seq: int
+    account: int
+    job_type: int
+    count: int
+
+    @property
+    def submission_id(self) -> str:
+        return f"sub-{self.seq}"
+
+    def as_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "account": self.account,
+            "job_type": self.job_type,
+            "count": self.count,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SubmissionRecord":
+        return cls(
+            seq=int(payload["seq"]),
+            account=int(payload["account"]),
+            job_type=int(payload["job_type"]),
+            count=int(payload["count"]),
+        )
+
+
+class SubmissionLog:
+    """Append-only JSONL write-ahead log of acknowledged submissions.
+
+    One line per record, flushed on every append so an acknowledged
+    submission survives a ``SIGKILL`` of the gateway process.  The log
+    is the durable record the restart path replays and the artifact the
+    offline equivalence check reads — it is never rewritten, only
+    appended to or (on an explicitly fresh start) rotated away.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle: Optional[TextIO] = None
+
+    def _open(self) -> TextIO:
+        if self._handle is None or self._handle.closed:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        return self._handle
+
+    def append(self, record: SubmissionRecord) -> None:
+        """Write one record and flush it to the OS before returning."""
+        handle = self._open()
+        handle.write(json.dumps(record.as_dict(), sort_keys=True) + "\n")
+        handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None and not self._handle.closed:
+            self._handle.close()
+
+    def replay(self) -> List[SubmissionRecord]:
+        """Every record on disk, oldest first (empty if the log is absent).
+
+        A torn final line — the process died mid-append, before the
+        flush that precedes the acknowledgement — is skipped: its
+        submission was never acknowledged, so dropping it loses nothing
+        a client was promised.
+        """
+        if not self.path.exists():
+            return []
+        records: List[SubmissionRecord] = []
+        with open(self.path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(SubmissionRecord.from_dict(json.loads(line)))
+                except (ValueError, KeyError, TypeError):
+                    continue
+        return records
+
+    def rotate(self) -> None:
+        """Move an existing log aside (fresh starts must not replay it)."""
+        self.close()
+        if self.path.exists():
+            backup = self.path.with_suffix(self.path.suffix + ".old")
+            self.path.replace(backup)
+
+
+class IntakeBuffer:
+    """Bounded per-type FIFO staging area between gateway and ticker.
+
+    Capacity is measured in *jobs* (submission counts), matching what
+    backpressure protects: the front queues absorb at most
+    ``sum_j A_j^max`` jobs per slot, so pending jobs — not request
+    count — is the quantity that must stay bounded.
+    """
+
+    def __init__(self, capacity: int, num_job_types: int) -> None:
+        require_positive(capacity, "capacity")
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._queues: List[List[SubmissionRecord]] = [
+            [] for _ in range(num_job_types)
+        ]
+        self._pending_jobs = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def pending_jobs(self) -> int:
+        """Total jobs currently buffered."""
+        with self._lock:
+            return self._pending_jobs
+
+    def offer(self, record: SubmissionRecord, force: bool = False) -> bool:
+        """Stage *record*; False when it would overflow the capacity.
+
+        ``force=True`` bypasses the bound — used only for write-ahead-log
+        recovery, where the submissions were already acknowledged and
+        refusing them would be the very loss the log exists to prevent.
+        """
+        with self._lock:
+            if not force and self._pending_jobs + record.count > self.capacity:
+                return False
+            self._queues[record.job_type].append(record)
+            self._pending_jobs += record.count
+            return True
+
+    def drain_slot(self, max_per_type: np.ndarray) -> Tuple[np.ndarray, List[int]]:
+        """Assemble one slot's arrival vector from the buffered FIFO.
+
+        Whole submissions are consumed per type, oldest first, while the
+        type's running total stays within ``max_per_type`` (the eq. 3
+        arrival bounds).  Returns ``(arrivals, consumed_seqs)``; what
+        did not fit remains buffered for the next slot.
+        """
+        arrivals = np.zeros(len(self._queues), dtype=np.float64)
+        consumed: List[int] = []
+        with self._lock:
+            for j, queue in enumerate(self._queues):
+                cap = float(max_per_type[j])
+                taken = 0
+                for record in queue:
+                    if arrivals[j] + record.count > cap + 1e-9:
+                        break
+                    arrivals[j] += record.count
+                    consumed.append(record.seq)
+                    self._pending_jobs -= record.count
+                    taken += 1
+                if taken:
+                    del queue[:taken]
+        return arrivals, consumed
+
+    # ------------------------------------------------------------------
+    # Checkpoint integration
+    # ------------------------------------------------------------------
+    def snapshot(self) -> List[SubmissionRecord]:
+        """Pending submissions, oldest first per type (picklable)."""
+        with self._lock:
+            merged: List[SubmissionRecord] = []
+            for queue in self._queues:
+                merged.extend(queue)
+            return sorted(merged, key=lambda r: r.seq)
+
+    def restore(self, records: List[SubmissionRecord]) -> None:
+        with self._lock:
+            for queue in self._queues:
+                queue.clear()
+            self._pending_jobs = 0
+            for record in sorted(records, key=lambda r: r.seq):
+                self._queues[record.job_type].append(record)
+                self._pending_jobs += record.count
+
+
+class Ingestor:
+    """The producer-side pipeline: rate limit -> capacity -> log -> buffer.
+
+    One instance is shared by every HTTP handler thread.  ``submit``
+    applies the per-account token bucket, reserves buffer capacity,
+    appends to the write-ahead log and only then stages the record —
+    so by the time a 202 leaves the gateway the submission is both
+    durable and scheduled for a future slot.  Rejections are explicit
+    (a reason and a retry hint), never silent.
+    """
+
+    def __init__(
+        self,
+        buffer: IntakeBuffer,
+        log: SubmissionLog,
+        limiter: AccountRateLimiter,
+        retry_after_slots: float = 1.0,
+        first_seq: int = 1,
+    ) -> None:
+        self.buffer = buffer
+        self.log = log
+        self.limiter = limiter
+        #: Retry hint (seconds) answered on buffer-full backpressure;
+        #: the app sets it from the wall-clock slot period so clients
+        #: back off for about one drain cycle.
+        self.retry_after_slots = float(retry_after_slots)
+        self._seq_lock = threading.Lock()
+        self._next_seq = int(first_seq)
+        self.accepted_jobs = 0
+        self.rejected_rate = 0
+        self.rejected_full = 0
+
+    @property
+    def next_seq(self) -> int:
+        with self._seq_lock:
+            return self._next_seq
+
+    def set_next_seq(self, seq: int) -> None:
+        """Advance the sequence counter (checkpoint/log recovery)."""
+        with self._seq_lock:
+            self._next_seq = max(self._next_seq, int(seq))
+
+    def submit(
+        self, request: SubmissionRequest
+    ) -> Tuple[Optional[SubmissionRecord], str, float]:
+        """Run one submission through the pipeline.
+
+        Returns ``(record, reason, retry_after)``: on acceptance the
+        record with its assigned sequence number; on refusal ``None``
+        plus a machine-readable reason (``"rate_limited"`` or
+        ``"backpressure"``) and the retry hint in seconds.
+        """
+        granted, retry_after = self.limiter.admit(request.account, request.count)
+        if not granted:
+            self.rejected_rate += 1
+            return None, "rate_limited", retry_after
+        with self._seq_lock:
+            record = SubmissionRecord(
+                seq=self._next_seq,
+                account=request.account,
+                job_type=request.job_type,
+                count=request.count,
+            )
+            # Log-before-buffer: once this line is flushed the record is
+            # durable; only then may the gateway acknowledge.
+            if not self.buffer.offer(record):
+                self.rejected_full += 1
+                return None, "backpressure", max(1.0, self.retry_after_slots)
+            self.log.append(record)
+            self._next_seq += 1
+            self.accepted_jobs += record.count
+        return record, "accepted", 0.0
+
+    def freeze(self) -> Tuple[List[SubmissionRecord], int, dict]:
+        """Atomic ``(pending, next_seq, counters)`` snapshot for checkpoints.
+
+        Taken under the sequence lock, which :meth:`submit` holds while
+        logging and staging — so no submission can land between the
+        pending snapshot and the sequence capture.  That atomicity is
+        what lets restart partition the write-ahead log exactly:
+        records with ``seq < next_seq`` are either in a completed slot
+        or in ``pending``; records with ``seq >= next_seq`` are
+        recovered from the log alone.
+        """
+        with self._seq_lock:
+            return self.buffer.snapshot(), self._next_seq, self.counters()
+
+    def recover(self, records: List[SubmissionRecord]) -> int:
+        """Re-stage write-ahead-log *records* after a restart.
+
+        Forced past the capacity bound (they were acknowledged) and
+        replayed in sequence order; the counter resumes above the
+        highest sequence ever issued.  Returns how many were restored.
+        """
+        restored = 0
+        for record in sorted(records, key=lambda r: r.seq):
+            self.buffer.offer(record, force=True)
+            self.set_next_seq(record.seq + 1)
+            self.accepted_jobs += record.count
+            restored += 1
+        return restored
+
+    def counters(self) -> dict:
+        return {
+            "accepted_jobs": self.accepted_jobs,
+            "rejected_rate_limited": self.rejected_rate,
+            "rejected_backpressure": self.rejected_full,
+            "pending_jobs": self.buffer.pending_jobs,
+        }

@@ -1,0 +1,186 @@
+"""The slot ticker: advance GreFar one slot at a time, decoupled from HTTP.
+
+:func:`tick_once` is a line-for-line mirror of the offline
+``Simulator.run`` slot body (decide → clip → step → cost → record) with
+one substitution: the arrival vector comes from the live intake buffer
+instead of a pre-generated trace.  Everything else — state snapshot,
+queue dynamics, cost evaluation, metric recording — is the same code
+operating in the same order on the same objects, which is what makes
+the service's per-slot metrics bit-identical to an offline replay of
+its accepted-arrival log.
+
+:class:`SlotTicker` wraps that pure step with scheduling (manual ticks
+for tests and CI, a wall-clock thread for real serving), the shared
+service lock, and the ckpt-v1 checkpoint cadence.  Blocking waits live
+only in the pacing loop, never in the tick path (staticcheck GF009
+enforces this).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional
+
+import numpy as np
+
+from repro.obs.registry import metrics_registry
+from repro.resilient.checkpoint import Checkpointer
+from repro.service.ingest import Ingestor
+from repro.service.ratelimit import AccountRateLimiter
+from repro.service.state import ServiceState
+
+__all__ = ["CapacityExhausted", "SlotTicker", "tick_once"]
+
+
+class CapacityExhausted(RuntimeError):
+    """The pre-generated environment trace has no more slots to tick."""
+
+
+def tick_once(state: ServiceState, arrivals: np.ndarray) -> dict:
+    """Advance the service exactly one slot; returns the slot record.
+
+    Mirrors ``Simulator.run`` with its defaults (no admission policy,
+    no fault injector, ``enforce_physical=True``): any divergence here
+    breaks the offline-replay equivalence the tests pin down.
+    """
+    t = state.next_slot
+    if t >= state.config.capacity_slots:
+        raise CapacityExhausted(
+            f"environment trace exhausted after {t} slots; "
+            "restart with a larger --capacity-slots"
+        )
+    reg = metrics_registry()
+    cluster_state = state.environment.state_at(t)
+    with reg.span("service.decide"):
+        action = state.scheduler.decide(t, cluster_state, state.queues)
+    action = state.queues.clip_to_content(action)
+    arrivals = np.asarray(arrivals, dtype=np.float64)
+    state.admitted_total += float(np.sum(arrivals))
+    outcome = state.queues.step(action, arrivals, t)
+    served_jobs = float(np.sum(outcome["served"]))
+    cost = state.cost_model.evaluate(state.cluster, cluster_state, action)
+    state.metrics.record(
+        energy=cost.energy,
+        fairness=cost.fairness,
+        combined=cost.combined,
+        work_per_dc=action.work_served(state.cluster),
+        served_jobs=served_jobs,
+        queues=state.queues,
+    )
+    state.account_work += action.account_work(state.cluster)
+    record = {
+        "slot": t,
+        "arrivals": [float(a) for a in arrivals],
+        "energy_cost": float(cost.energy),
+        "fairness": float(cost.fairness),
+        "combined_cost": float(cost.combined),
+        "served_jobs": served_jobs,
+        "work_per_dc": [float(w) for w in action.work_served(state.cluster)],
+        "queue_total": float(state.queues.total_backlog()),
+        "queue_max": float(state.queues.max_queue_length()),
+    }
+    state.arrivals_log.append(arrivals.copy())
+    state.slot_records.append(record)
+    state.next_slot = t + 1
+    return record
+
+
+class SlotTicker:
+    """Drive :func:`tick_once` on a schedule, with checkpoints.
+
+    Parameters
+    ----------
+    state:
+        The service state store.
+    ingestor:
+        Ingestion pipeline; each tick drains its buffer into the slot's
+        arrival vector (bounded per type by ``A_j^max``).
+    limiter:
+        The rate limiter, snapshotted into every checkpoint.
+    checkpointer:
+        ckpt-v1 schedule from ``ServiceConfig.checkpointer()``; a save
+        lands after every ``every`` completed slots.
+    lock:
+        The service-wide lock shared with the query endpoints, so
+        queries never observe a half-applied slot.
+    """
+
+    def __init__(
+        self,
+        state: ServiceState,
+        ingestor: Ingestor,
+        limiter: AccountRateLimiter,
+        checkpointer: Checkpointer,
+        lock: Optional[threading.RLock] = None,
+    ) -> None:
+        self.state = state
+        self.ingestor = ingestor
+        self.limiter = limiter
+        self.checkpointer = checkpointer
+        self.lock = lock if lock is not None else threading.RLock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.ticks_completed = 0
+
+    # ------------------------------------------------------------------
+    def tick(self, slots: int = 1) -> List[dict]:
+        """Advance *slots* slots synchronously; returns their records."""
+        records: List[dict] = []
+        for _ in range(slots):
+            with self.lock:
+                arrivals, _consumed = self.ingestor.buffer.drain_slot(
+                    self.state.max_arrivals
+                )
+                record = tick_once(self.state, arrivals)
+                self.ticks_completed += 1
+                if self.checkpointer.due(self.state.next_slot):
+                    self.save_checkpoint()
+            records.append(record)
+        return records
+
+    def save_checkpoint(self) -> None:
+        """Write one consistent ckpt-v1 snapshot (state + ingestion)."""
+        with self.lock:
+            pending, next_seq, counters = self.ingestor.freeze()
+            payload = self.state.checkpoint_payload(
+                {
+                    "pending": pending,
+                    "next_seq": int(next_seq),
+                    "ingest_counters": counters,
+                    "ratelimit": self.limiter.state(),
+                }
+            )
+            self.checkpointer.save(payload)
+
+    # ------------------------------------------------------------------
+    # Wall-clock pacing (kept out of the tick path; GF009)
+    # ------------------------------------------------------------------
+    def start(self, slot_seconds: float) -> None:
+        """Start the wall-clock pacing thread (one tick per period)."""
+        if self._thread is not None and self._thread.is_alive():
+            raise RuntimeError("ticker already running")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._pace_loop,
+            args=(float(slot_seconds),),
+            name="repro-slot-ticker",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def _pace_loop(self, slot_seconds: float) -> None:
+        # Fixed-period pacing: wait one period, then take one slot.
+        # Event.wait doubles as the shutdown signal, so stop() never
+        # has to interrupt a sleep.
+        while not self._stop.wait(slot_seconds):
+            try:
+                self.tick(1)
+            except CapacityExhausted:
+                break
+
+    def stop(self) -> None:
+        """Stop the pacing thread (if any) and wait for it to exit."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None

@@ -1,0 +1,150 @@
+"""Wire schemas: what crosses the gateway's HTTP boundary.
+
+Every service payload is schema-versioned JSON.  The request side is
+parsed defensively — the gateway faces arbitrary clients — and the
+response side is produced by small helpers so every endpoint speaks the
+same envelope:
+
+* success: ``{"schema": "svc-v1", ...payload...}``
+* error:   ``{"schema": "svc-v1", "error": <machine code>,
+  "detail": <human sentence>, ...context...}``
+
+Parsing raises :class:`WireError` (carrying the HTTP status to answer
+with) instead of letting a malformed body surface as a 500 — a client
+typo must never look like a gateway crash.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+__all__ = [
+    "SERVICE_SCHEMA",
+    "SubmissionRequest",
+    "WireError",
+    "error_body",
+    "ok_body",
+    "parse_json_body",
+    "parse_submission",
+]
+
+#: Version tag stamped on every request/response body; bump on shape
+#: changes so stale clients fail loudly instead of misparsing.
+SERVICE_SCHEMA = "svc-v1"
+
+#: Largest request body the gateway will read (bytes).  A submission is
+#: a few dozen bytes; anything close to this cap is not a submission.
+MAX_BODY_BYTES = 64 * 1024
+
+
+class WireError(ValueError):
+    """A request the gateway refuses; carries the HTTP status to send."""
+
+    def __init__(self, status: int, code: str, detail: str) -> None:
+        super().__init__(detail)
+        self.status = int(status)
+        self.code = str(code)
+        self.detail = str(detail)
+
+
+@dataclass(frozen=True)
+class SubmissionRequest:
+    """One validated job submission: *count* jobs of one type for one account.
+
+    ``job_type`` is the cluster's job-type index; ``account`` is checked
+    against the type's owning account so one organization cannot submit
+    (and be billed/rate-limited for) another's work.
+    """
+
+    account: int
+    job_type: int
+    count: int
+
+    def as_dict(self) -> dict:
+        return {
+            "account": self.account,
+            "job_type": self.job_type,
+            "count": self.count,
+        }
+
+
+def ok_body(**payload: Any) -> dict:
+    """A success envelope under the current schema tag."""
+    return {"schema": SERVICE_SCHEMA, **payload}
+
+
+def error_body(code: str, detail: str, **context: Any) -> dict:
+    """An error envelope under the current schema tag."""
+    return {"schema": SERVICE_SCHEMA, "error": code, "detail": detail, **context}
+
+
+def parse_json_body(raw: bytes) -> dict:
+    """Decode a request body into a JSON object or raise a 400 WireError."""
+    if len(raw) > MAX_BODY_BYTES:
+        raise WireError(
+            413, "body_too_large", f"body exceeds {MAX_BODY_BYTES} bytes"
+        )
+    try:
+        payload = json.loads(raw.decode("utf-8")) if raw else {}
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(400, "bad_json", f"body is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise WireError(400, "bad_json", "body must be a JSON object")
+    return payload
+
+
+def _require_int(payload: Mapping, key: str, minimum: int) -> int:
+    value = payload.get(key)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise WireError(400, "bad_field", f"{key!r} must be an integer")
+    if value < minimum:
+        raise WireError(400, "bad_field", f"{key!r} must be >= {minimum}, got {value}")
+    return value
+
+
+def parse_submission(payload: Mapping, cluster) -> SubmissionRequest:
+    """Validate a ``POST /v1/jobs`` body against *cluster*'s model bounds.
+
+    Rejections here are permanent client errors (400/422) — unlike the
+    retryable 429s of backpressure — so the intake layer never sees a
+    submission the model could not absorb:
+
+    * unknown account / job-type indices,
+    * a type submitted under the wrong account,
+    * ``count`` above the type's per-slot arrival bound ``A_j^max``
+      (eq. 3): such a batch could *never* be assigned to a slot.
+    """
+    account = _require_int(payload, "account", minimum=0)
+    job_type = _require_int(payload, "job_type", minimum=0)
+    count = _require_int(payload, "count", minimum=1)
+    if account >= cluster.num_accounts:
+        raise WireError(
+            422,
+            "unknown_account",
+            f"account {account} out of range [0, {cluster.num_accounts})",
+        )
+    if job_type >= cluster.num_job_types:
+        raise WireError(
+            422,
+            "unknown_job_type",
+            f"job_type {job_type} out of range [0, {cluster.num_job_types})",
+        )
+    jt = cluster.job_types[job_type]
+    if jt.account != account:
+        raise WireError(
+            422,
+            "wrong_account",
+            f"job_type {job_type} ({jt.name}) belongs to account {jt.account}, "
+            f"not {account}",
+        )
+    max_arrivals = int(jt.max_arrivals)
+    if count > max_arrivals:
+        raise WireError(
+            422,
+            "count_exceeds_arrival_bound",
+            f"count {count} exceeds the per-slot arrival bound "
+            f"A_j^max = {max_arrivals} for {jt.name}; split the batch",
+        )
+    return SubmissionRequest(account=account, job_type=job_type, count=count)

@@ -600,6 +600,86 @@ class SolverRoutingRule(Rule):
                 )
 
 
+# ----------------------------------------------------------------------
+# GF009 — tick-path latency hygiene
+# ----------------------------------------------------------------------
+class TickPathBlockingRule(Rule):
+    """No blocking I/O inside the slot-tick/solve path.
+
+    The serving layer's contract is that ingestion (HTTP, disk) and
+    scheduling (the slot tick) are decoupled: the tick path runs pure
+    in-memory math so a slot completes in bounded time and the
+    wall-clock slot schedule never drifts behind a stray ``sleep`` or a
+    synchronous read.  Pacing sleeps belong in the ticker's pacing
+    loop, file I/O in the ingestion/checkpoint layers — never inside a
+    function on the tick path (``tick``/``tick_once``/``step``/
+    ``decide``/``run``/``solve``/``solve_*``) of ``repro/service/`` or
+    ``repro/simulation/``.
+    """
+
+    id = "GF009"
+    title = "no blocking I/O (sleep, sockets, file reads) in the tick path"
+    rationale = (
+        "the slot tick must complete in bounded time or the wall-clock "
+        "slot schedule drifts; sleeps belong in the pacing loop and "
+        "I/O in the ingestion/checkpoint layers."
+    )
+    scope = ("service/", "simulation/")
+
+    #: Function names that constitute the tick path.
+    _TICK_NAMES = {"tick", "tick_once", "step", "decide", "run", "solve"}
+    _TICK_PREFIXES = ("solve_",)
+
+    _BLOCKING_CALLS = {"time.sleep"}
+    _BLOCKING_PREFIXES = (
+        "socket.",
+        "select.",
+        "subprocess.",
+        "urllib.request.",
+        "http.client.",
+    )
+    _BLOCKING_BUILTINS = {"open", "input"}
+
+    def _on_tick_path(self, name: str) -> bool:
+        return name in self._TICK_NAMES or name.startswith(self._TICK_PREFIXES)
+
+    def check(self, ctx: "ModuleContext") -> Iterator[Violation]:
+        imports = _import_map(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not self._on_tick_path(node.name):
+                continue
+            yield from self._check_function(node, imports)
+
+    def _check_function(self, func: ast.AST, imports: dict) -> Iterator[Violation]:
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            canonical = _canonical_call(node, imports)
+            if canonical is not None and (
+                canonical in self._BLOCKING_CALLS
+                or canonical.startswith(self._BLOCKING_PREFIXES)
+            ):
+                yield (
+                    node,
+                    f"blocking call {canonical}() inside tick-path function "
+                    f"'{func.name}'; move sleeps to the pacing loop and I/O "
+                    "to the ingestion/checkpoint layers",
+                )
+            elif (
+                isinstance(node.func, ast.Name)
+                and node.func.id in self._BLOCKING_BUILTINS
+                and node.func.id not in imports
+            ):
+                yield (
+                    node,
+                    f"blocking builtin {node.func.id}() inside tick-path "
+                    f"function '{func.name}'; the slot tick must not touch "
+                    "files or stdin",
+                )
+
+
 RULES: tuple[Rule, ...] = (
     DeterminismRule(),
     QueueHygieneRule(),
@@ -609,6 +689,7 @@ RULES: tuple[Rule, ...] = (
     RunnerRoutingRule(),
     PerfClockRule(),
     SolverRoutingRule(),
+    TickPathBlockingRule(),
 )
 
 RULE_REGISTRY: dict = {rule.id: rule for rule in RULES}

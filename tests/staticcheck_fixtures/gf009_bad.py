@@ -1,0 +1,19 @@
+"""Deliberately-bad fixture for GF009: blocking I/O in the tick path."""
+
+import socket
+import time
+
+
+def tick_once(state):
+    time.sleep(0.5)
+    return state
+
+
+def tick(queue):
+    with open("/tmp/arrivals.json") as handle:
+        return handle.read()
+
+
+def solve(problem):
+    sock = socket.create_connection(("127.0.0.1", 9))
+    return sock

@@ -1,0 +1,18 @@
+"""Clean fixture for GF009: sleeps and I/O stay off the tick path."""
+
+import time
+
+
+def pace_loop(stop_event, period):
+    # Pacing lives outside the tick path, where sleeping is the point.
+    time.sleep(period)
+    return stop_event
+
+
+def load_arrivals(path):
+    with open(path, encoding="utf-8") as handle:
+        return handle.read()
+
+
+def tick_once(state):
+    return state + 1

@@ -19,6 +19,7 @@ from repro.core.grefar import GreFarScheduler
 from repro.obs.baseline import (
     BENCH_SCHEMA,
     baseline_payload,
+    compare_baselines,
     validate_baseline,
     validate_baseline_file,
     write_baseline,
@@ -327,6 +328,61 @@ def test_write_baseline_and_cli_validate(tmp_path, capsys):
 def test_write_baseline_refuses_empty():
     with pytest.raises(ValueError):
         write_baseline([])
+
+
+def _scaled_payload(payload, factor):
+    """A copy of *payload* with every run's throughput scaled by *factor*."""
+    runs = [
+        {**run, "slots_per_second": run["slots_per_second"] * factor}
+        for run in payload["runs"]
+    ]
+    return {**payload, "runs": runs}
+
+
+def test_compare_baselines_passes_within_tolerance():
+    payload = baseline_payload([_small_report()])
+    assert compare_baselines(payload, payload, tolerance=0.25) == []
+    # A 2x slowdown still passes a 0.25 tolerance ...
+    assert compare_baselines(payload, _scaled_payload(payload, 0.5), 0.25) == []
+
+
+def test_compare_baselines_flags_regression_and_missing_pair():
+    payload = baseline_payload([_small_report()])
+    slow = _scaled_payload(payload, 0.1)
+    problems = compare_baselines(payload, slow, tolerance=0.25)
+    assert len(problems) == 1
+    assert "regressed" in problems[0]
+
+    gone = {**payload, "runs": []}
+    problems = compare_baselines(payload, gone, tolerance=0.25)
+    # Empty runs fail schema validation before pair matching.
+    assert problems and "invalid" in problems[0]
+
+    other = _scaled_payload(payload, 1.0)
+    other["runs"][0] = {**other["runs"][0], "scenario": "renamed"}
+    problems = compare_baselines(payload, other, tolerance=0.25)
+    assert len(problems) == 1
+    assert "missing" in problems[0]
+
+
+def test_compare_baselines_rejects_bad_tolerance():
+    payload = baseline_payload([_small_report()])
+    with pytest.raises(ValueError, match="tolerance"):
+        compare_baselines(payload, payload, tolerance=0.0)
+
+
+def test_cli_compare_modes(tmp_path, capsys):
+    old = write_baseline([_small_report()], path=tmp_path / "BENCH_old.json")
+    payload = json.loads(old.read_text(encoding="utf-8"))
+    new = tmp_path / "BENCH_new.json"
+    new.write_text(json.dumps(_scaled_payload(payload, 0.9)), encoding="utf-8")
+    assert baseline_main(["--compare", str(old), str(new)]) == 0
+    assert "throughput OK" in capsys.readouterr().out
+
+    slow = tmp_path / "BENCH_slow.json"
+    slow.write_text(json.dumps(_scaled_payload(payload, 0.01)), encoding="utf-8")
+    assert baseline_main(["--compare", str(old), str(slow)]) == 1
+    assert "regression" in capsys.readouterr().out
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,205 @@
+"""SIGKILL-and-restart drill for the gateway, in fresh processes.
+
+The in-process recovery tests (``test_service.py``) can cheat: objects
+share memory.  Here nothing does — ``repro serve`` runs as a real
+subprocess, gets ``SIGKILL``'d (no atexit, no finally, no final
+checkpoint) after acknowledging submissions that were never ticked, and
+a *second* process restarts with ``--resume``.  The suite pins:
+
+* the restart resumes from the last completed checkpoint slot,
+* every acknowledged submission survives (the write-ahead log is
+  flushed before each 202 leaves the gateway),
+* the continued run's per-slot records are bit-identical to a third,
+  never-interrupted process over the same submission schedule,
+* a graceful ``POST /v1/admin/shutdown`` exits 0.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import signal
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.service import ServiceClient, ServiceClientError
+
+REPO = Path(__file__).resolve().parents[1]
+
+SERVE_ARGS = [
+    "serve",
+    "--scenario",
+    "small",
+    "--seed",
+    "0",
+    "--v",
+    "10.0",
+    "--capacity-slots",
+    "20",
+    "--checkpoint-every",
+    "1",
+    "--port",
+    "0",
+]
+
+BATCH_1 = [(0, 0, 10), (1, 1, 3)]
+BATCH_2 = [(0, 0, 25), (1, 1, 5)]
+
+
+def _spawn(data_dir: Path, cwd: Path, resume: bool = False) -> subprocess.Popen:
+    args = SERVE_ARGS + ["--data-dir", str(data_dir)]
+    if resume:
+        args.append("--resume")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        cwd=cwd,
+        env={
+            "PYTHONPATH": str(REPO / "src"),
+            "PATH": "/usr/bin:/bin:/usr/local/bin",
+        },
+    )
+    # A reader thread, not select(): readline() may buffer several lines
+    # in one read, after which the fd never polls readable again.
+    lines: queue.Queue = queue.Queue()
+    thread = threading.Thread(
+        target=lambda: [lines.put(line) for line in proc.stdout],
+        daemon=True,
+    )
+    thread.start()
+    proc.lines = lines  # type: ignore[attr-defined]
+    return proc
+
+
+def _read_line(proc: subprocess.Popen, timeout: float = 30.0) -> str:
+    """One stdout line, or fail loudly if the gateway never prints it."""
+    try:
+        return proc.lines.get(timeout=timeout).strip()  # type: ignore[attr-defined]
+    except queue.Empty:
+        stderr = proc.stderr.read() if proc.poll() is not None else ""
+        pytest.fail(f"gateway produced no output within the timeout {stderr}")
+
+
+def _connect(proc: subprocess.Popen) -> ServiceClient:
+    line = _read_line(proc)
+    assert line.startswith("listening on http://"), line
+    return ServiceClient(line.split("listening on ", 1)[1], timeout=15.0)
+
+
+def _submit_batch(client: ServiceClient, batch) -> list:
+    return [
+        client.submit(account, job_type, count)["submission_id"]
+        for account, job_type, count in batch
+    ]
+
+
+def _kill_hard(proc: subprocess.Popen) -> None:
+    os.kill(proc.pid, signal.SIGKILL)
+    proc.wait(timeout=10)
+    proc.stdout.close()
+    proc.stderr.close()
+
+
+def _finish(proc: subprocess.Popen, client: ServiceClient) -> None:
+    client.shutdown()
+    assert proc.wait(timeout=15) == 0
+    proc.stdout.close()
+    proc.stderr.close()
+
+
+def test_sigkill_resume_is_bit_identical_and_loses_no_acks(tmp_path):
+    # --- reference: one uninterrupted gateway over the same schedule ---
+    ref_proc = _spawn(tmp_path / "ref", tmp_path)
+    ref = _connect(ref_proc)
+    _submit_batch(ref, BATCH_1)
+    ref.tick(3)
+    _submit_batch(ref, BATCH_2)
+    ref.tick(3)
+    ref_slots = ref.slots()
+    ref_accepted = ref.metrics()["service"]["accepted_jobs"]
+    _finish(ref_proc, ref)
+
+    # --- victim: SIGKILL right after batch 2 was acknowledged ---------
+    victim_proc = _spawn(tmp_path / "svc", tmp_path)
+    victim = _connect(victim_proc)
+    acked = _submit_batch(victim, BATCH_1)
+    victim.tick(3)
+    acked += _submit_batch(victim, BATCH_2)
+    assert acked == ["sub-1", "sub-2", "sub-3", "sub-4"]
+    _kill_hard(victim_proc)
+
+    # --- restart: a brand-new process, only disk state survives -------
+    resumed_proc = _spawn(tmp_path / "svc", tmp_path, resume=True)
+    resumed = _connect(resumed_proc)
+    assert _read_line(resumed_proc).startswith("resumed from checkpoint at slot 3")
+    health = resumed.health()
+    assert health["resumed_from_slot"] == 3
+    # Batch 2 was acknowledged but never checkpointed: it lived only in
+    # the write-ahead log, and both submissions came back.
+    assert health["recovered_submissions"] == len(BATCH_2)
+    assert health["pending_jobs"] == sum(c for _, _, c in BATCH_2)
+    resumed.tick(3)
+
+    slots = resumed.slots()
+    assert len(slots) == 6
+    assert slots == ref_slots
+    metrics = resumed.metrics()["service"]
+    assert metrics["accepted_jobs"] == ref_accepted
+    assert metrics["admitted_jobs"] == float(
+        sum(c for _, _, c in BATCH_1 + BATCH_2)
+    )
+    _finish(resumed_proc, resumed)
+
+
+def test_sigkill_before_any_checkpoint_replays_the_whole_log(tmp_path):
+    victim_proc = _spawn(tmp_path / "svc", tmp_path)
+    victim = _connect(victim_proc)
+    _submit_batch(victim, BATCH_1)  # acknowledged, never ticked
+    _kill_hard(victim_proc)
+
+    resumed_proc = _spawn(tmp_path / "svc", tmp_path, resume=True)
+    resumed = _connect(resumed_proc)
+    health = resumed.health()
+    # No checkpoint existed, so there is no resume slot — but the log
+    # still restores every acknowledged submission.
+    assert health["resumed_from_slot"] is None
+    assert health["recovered_submissions"] == len(BATCH_1)
+    assert health["pending_jobs"] == sum(c for _, _, c in BATCH_1)
+    record = resumed.tick(1)["records"][0]
+    assert record["arrivals"] == [10.0, 3.0]
+    _finish(resumed_proc, resumed)
+
+
+def test_duplicate_resume_does_not_double_count(tmp_path):
+    """Kill, resume, kill again without progress, resume again."""
+    proc = _spawn(tmp_path / "svc", tmp_path)
+    client = _connect(proc)
+    _submit_batch(client, BATCH_1)
+    client.tick(1)
+    _kill_hard(proc)
+
+    for _ in range(2):
+        proc = _spawn(tmp_path / "svc", tmp_path, resume=True)
+        client = _connect(proc)
+        _kill_hard(proc)
+
+    proc = _spawn(tmp_path / "svc", tmp_path, resume=True)
+    client = _connect(proc)
+    health = client.health()
+    assert health["resumed_from_slot"] == 1
+    # Slot 0 drained both submissions; repeated resumes must not
+    # resurrect them from the log (their seqs predate the checkpoint).
+    assert health["pending_jobs"] == 0
+    assert client.metrics()["service"]["accepted_jobs"] == sum(
+        c for _, _, c in BATCH_1
+    )
+    with pytest.raises(ServiceClientError) as excinfo:
+        client.post("/v1/admin/tick", {"slots": 0})
+    assert excinfo.value.status == 400
+    _finish(proc, client)

@@ -1,6 +1,6 @@
 """Self-tests for the project static checker (repro.tools.staticcheck).
 
-Each rule GF001-GF008 gets one deliberately-bad fixture it must flag and
+Each rule GF001-GF009 gets one deliberately-bad fixture it must flag and
 one clean fixture it must pass; the fixtures live in
 ``tests/staticcheck_fixtures/`` and are parsed, never imported.
 """
@@ -33,6 +33,7 @@ RULE_CASES = [
     ("GF006", "gf006_bad.py", 2, "gf006_good.py"),
     ("GF007", "gf007_bad.py", 3, "gf007_good.py"),
     ("GF008", "gf008_bad.py", 2, "gf008_good.py"),
+    ("GF009", "gf009_bad.py", 3, "gf009_good.py"),
 ]
 
 
@@ -102,6 +103,7 @@ def test_rule_ids_registry():
         "GF006",
         "GF007",
         "GF008",
+        "GF009",
     ]
 
 
