@@ -40,6 +40,7 @@ from repro.service import (
     ServiceHTTPServer,
 )
 from repro.simulation.simulator import Simulator
+from repro.tools import tsan
 
 #: Minimum sustained submission attempts per second (the ISSUE floor is
 #: 1k/s; stdlib ThreadingHTTPServer with keep-alive does far more).
@@ -197,6 +198,17 @@ def main() -> int:
             failures.append("shutdown left no final checkpoint behind")
         else:
             print("shutdown OK: server stopped and left a final checkpoint")
+
+        # -- lock/race sanitizer audit (REPRO_TSAN=1 runs only) ---------
+        if tsan.enabled():
+            violations = tsan.reports()
+            for finding in violations:
+                failures.append(f"sanitizer: {finding.render()}")
+            if not violations:
+                print(
+                    "tsan OK: zero lock-order/guarded-field violations "
+                    "under concurrent load"
+                )
 
     for failure in failures:
         print(f"FAIL: {failure}")

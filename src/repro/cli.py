@@ -458,14 +458,20 @@ def _cmd_cache(args) -> int:
 
 
 def _cmd_lint(args) -> int:
-    """Run the project-specific static checker (GF001-GF009)."""
+    """Run the project-specific static checker (GF001-GF012)."""
     from repro.tools.staticcheck.cli import run as staticcheck_run
     from repro.tools.staticcheck.reporters import render_rule_listing
 
     if args.list_rules:
         print(render_rule_listing())
         return 0
-    return staticcheck_run(args.paths, fmt=args.format, select=args.select)
+    return staticcheck_run(
+        args.paths,
+        fmt=args.format,
+        select=args.select,
+        baseline=args.baseline,
+        write_baseline_path=args.write_baseline,
+    )
 
 
 def _cmd_profile(args) -> int:
@@ -805,6 +811,18 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--format", choices=("text", "json"), default="text")
     lint.add_argument("--select", default=None, help="comma-separated rule ids")
     lint.add_argument("--list-rules", action="store_true")
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="suppress findings recorded in FILE; fail only on new ones",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="snapshot current findings to FILE and exit 0",
+    )
 
     return parser
 

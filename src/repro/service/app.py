@@ -33,6 +33,7 @@ half-applied slot and a tick never interleaves with a checkpoint.
 from __future__ import annotations
 
 import json
+import sys
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
@@ -51,6 +52,7 @@ from repro.service.wire import (
     parse_json_body,
     parse_submission,
 )
+from repro.tools import tsan
 
 __all__ = ["SchedulerService", "ServiceHTTPServer", "serve"]
 
@@ -72,7 +74,7 @@ class SchedulerService:
 
     def __init__(self, config: ServiceConfig, resume: bool = False) -> None:
         self.config = config
-        self.lock = threading.RLock()
+        self.lock = tsan.named_lock("SchedulerService.lock", reentrant=True)
         self.state = ServiceState(config)
         config.instance_dir.mkdir(parents=True, exist_ok=True)
         self.log = SubmissionLog(config.wal_path)
@@ -113,14 +115,7 @@ class SchedulerService:
             self.state.restore(payload)
             self.ingestor.buffer.restore(payload["pending"])
             self.ingestor.set_next_seq(int(payload["next_seq"]))
-            counters = payload.get("ingest_counters", {})
-            self.ingestor.accepted_jobs = int(counters.get("accepted_jobs", 0))
-            self.ingestor.rejected_rate = int(
-                counters.get("rejected_rate_limited", 0)
-            )
-            self.ingestor.rejected_full = int(
-                counters.get("rejected_backpressure", 0)
-            )
+            self.ingestor.restore_counters(payload.get("ingest_counters", {}))
             self.limiter.restore(payload.get("ratelimit", {}))
             horizon_seq = int(payload["next_seq"])
             self.resumed_from_slot = self.state.next_slot
@@ -287,10 +282,14 @@ class SchedulerService:
 
     def shutdown(self) -> None:
         """Graceful stop: halt pacing, write a final checkpoint, close."""
+        # Pacing stops *before* the lock is taken: the pacing thread
+        # may be inside tick() waiting for it (see SlotTicker.stop).
         self.ticker.stop()
         with self.lock:
             self.ticker.save_checkpoint()
-            self.log.close()
+            # Final WAL close under the lock: ticking has stopped and no
+            # further submit can be acknowledged past this point.
+            self.log.close()  # staticcheck: ignore[GF012] -- shutdown-only close after ticking stopped; nothing can contend
         stats_registry().counter_add("service.shutdowns")
 
 
@@ -438,4 +437,10 @@ def serve(
         service.shutdown()
     finally:
         server.server_close()
+    if tsan.enabled() and tsan.reports():
+        # Sanitizer drills run the real server binary; a dirty shutdown
+        # must fail the drill via the exit code, not just a log line.
+        for finding in tsan.reports():
+            print(finding.render(), file=sys.stderr)
+        return 1
     return 0

@@ -24,7 +24,6 @@ the next slot's arrival vector.  Three layers make that safe:
 from __future__ import annotations
 
 import json
-import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, TextIO, Tuple
@@ -34,6 +33,7 @@ import numpy as np
 from repro._validation import require_positive
 from repro.service.ratelimit import AccountRateLimiter
 from repro.service.wire import SubmissionRequest
+from repro.tools import tsan
 
 __all__ = ["IntakeBuffer", "Ingestor", "SubmissionLog", "SubmissionRecord"]
 
@@ -147,11 +147,12 @@ class IntakeBuffer:
     def __init__(self, capacity: int, num_job_types: int) -> None:
         require_positive(capacity, "capacity")
         self.capacity = int(capacity)
-        self._lock = threading.Lock()
-        self._queues: List[List[SubmissionRecord]] = [
+        self._lock = tsan.named_lock("IntakeBuffer._lock")
+        self._queues: List[List[SubmissionRecord]] = [  # guarded-by: self._lock
             [] for _ in range(num_job_types)
         ]
-        self._pending_jobs = 0
+        self._pending_jobs = 0  # guarded-by: self._lock
+        tsan.watch(self)
 
     # ------------------------------------------------------------------
     @property
@@ -182,9 +183,9 @@ class IntakeBuffer:
         arrival bounds).  Returns ``(arrivals, consumed_seqs)``; what
         did not fit remains buffered for the next slot.
         """
-        arrivals = np.zeros(len(self._queues), dtype=np.float64)
         consumed: List[int] = []
         with self._lock:
+            arrivals = np.zeros(len(self._queues), dtype=np.float64)
             for j, queue in enumerate(self._queues):
                 cap = float(max_per_type[j])
                 taken = 0
@@ -246,11 +247,12 @@ class Ingestor:
         #: the app sets it from the wall-clock slot period so clients
         #: back off for about one drain cycle.
         self.retry_after_slots = float(retry_after_slots)
-        self._seq_lock = threading.Lock()
-        self._next_seq = int(first_seq)
-        self.accepted_jobs = 0
-        self.rejected_rate = 0
-        self.rejected_full = 0
+        self._seq_lock = tsan.named_lock("Ingestor._seq_lock")
+        self._next_seq = int(first_seq)  # guarded-by: self._seq_lock
+        self.accepted_jobs = 0  # guarded-by: self._seq_lock
+        self.rejected_rate = 0  # guarded-by: self._seq_lock
+        self.rejected_full = 0  # guarded-by: self._seq_lock
+        tsan.watch(self)
 
     @property
     def next_seq(self) -> int:
@@ -274,7 +276,11 @@ class Ingestor:
         """
         granted, retry_after = self.limiter.admit(request.account, request.count)
         if not granted:
-            self.rejected_rate += 1
+            # Counter writes take the sequence lock too: ++ on a plain
+            # int is read-modify-write, and concurrent handler threads
+            # were able to lose increments here (caught by GF010).
+            with self._seq_lock:
+                self.rejected_rate += 1
             return None, "rate_limited", retry_after
         with self._seq_lock:
             record = SubmissionRecord(
@@ -288,7 +294,10 @@ class Ingestor:
             if not self.buffer.offer(record):
                 self.rejected_full += 1
                 return None, "backpressure", max(1.0, self.retry_after_slots)
-            self.log.append(record)
+            # The WAL flush must stay inside the sequence lock: freeze()
+            # partitions the log at next_seq, so an append outside it
+            # could ack a record a concurrent checkpoint never saw.
+            self.log.append(record)  # staticcheck: ignore[GF012] -- durability-before-ack requires the flush inside the seq lock; bounded single-line write
             self._next_seq += 1
             self.accepted_jobs += record.count
         return record, "accepted", 0.0
@@ -305,7 +314,7 @@ class Ingestor:
         recovered from the log alone.
         """
         with self._seq_lock:
-            return self.buffer.snapshot(), self._next_seq, self.counters()
+            return self.buffer.snapshot(), self._next_seq, self._counters_locked()
 
     def recover(self, records: List[SubmissionRecord]) -> int:
         """Re-stage write-ahead-log *records* after a restart.
@@ -313,16 +322,33 @@ class Ingestor:
         Forced past the capacity bound (they were acknowledged) and
         replayed in sequence order; the counter resumes above the
         highest sequence ever issued.  Returns how many were restored.
+        The sequence/counter update is inlined per record rather than
+        delegated to :meth:`set_next_seq` — the sequence lock is not
+        reentrant, and the pair must move together anyway.
         """
         restored = 0
         for record in sorted(records, key=lambda r: r.seq):
             self.buffer.offer(record, force=True)
-            self.set_next_seq(record.seq + 1)
-            self.accepted_jobs += record.count
+            with self._seq_lock:
+                self._next_seq = max(self._next_seq, record.seq + 1)
+                self.accepted_jobs += record.count
             restored += 1
         return restored
 
+    def restore_counters(self, counters: dict) -> None:
+        """Adopt checkpointed counter values (the restart path)."""
+        with self._seq_lock:
+            self.accepted_jobs = int(counters.get("accepted_jobs", 0))
+            self.rejected_rate = int(counters.get("rejected_rate_limited", 0))
+            self.rejected_full = int(counters.get("rejected_backpressure", 0))
+
     def counters(self) -> dict:
+        with self._seq_lock:
+            return self._counters_locked()
+
+    def _counters_locked(self) -> dict:
+        # Callers hold the sequence lock (counters(), freeze()) — the
+        # GF010 interprocedural check verifies exactly that.
         return {
             "accepted_jobs": self.accepted_jobs,
             "rejected_rate_limited": self.rejected_rate,

@@ -15,10 +15,10 @@ the token.
 from __future__ import annotations
 
 import math
-import threading
 from typing import Callable, Dict, Optional, Tuple
 
 from repro._validation import require_positive
+from repro.tools import tsan
 
 __all__ = ["AccountRateLimiter", "TokenBucket"]
 
@@ -97,10 +97,11 @@ class AccountRateLimiter:
         self.rate = float(rate)
         self.burst = float(burst)
         self._clock = clock
-        self._lock = threading.Lock()
-        self._buckets: Dict[int, TokenBucket] = {
+        self._lock = tsan.named_lock("AccountRateLimiter._lock")
+        self._buckets: Dict[int, TokenBucket] = {  # guarded-by: self._lock
             account: TokenBucket(rate, burst) for account in range(num_accounts)
         }
+        tsan.watch(self)
 
     def admit(self, account: int, count: float) -> Tuple[bool, float]:
         """Charge *count* jobs to *account*; ``(granted, retry_after)``.

@@ -18,11 +18,33 @@ GF005    Float equality: no ``==``/``!=`` on float expressions in
          objective/constraint code — use ``math.isclose``/``np.isclose``.
 GF006    Runner routing: experiment/analysis modules never instantiate
          ``Simulator`` directly — runs go through :mod:`repro.runner`.
+GF007    Solver supervision: raw ``prob.solve`` calls stay inside the
+         supervised fallback chain (:mod:`repro.solving`).
+GF008    Checkpoint discipline: state snapshots go through the ckpt-v1
+         schema helpers, never ad-hoc pickles.
+GF009    Tick-path latency: no blocking I/O (sleep, sockets, file
+         reads) inside the slot-tick/solve path.
+GF010    Guarded fields: attributes annotated ``# guarded-by:
+         self.<lock>`` are only touched while that lock is held
+         (checked interprocedurally across the call graph).
+GF011    Lock order: nested acquisitions form one global DAG; any
+         cycle — and any non-reentrant self-re-acquire — is flagged.
+GF012    No blocking calls while holding a lock (shares GF009's
+         blocking-call tables).
 =======  ==============================================================
 
+GF001-GF009 are per-file pattern rules; GF010-GF012 run on a
+project-wide model (symbol table + call graph over all scanned files)
+built once per invocation.  The runtime companion
+:mod:`repro.tools.tsan` enforces the same lock/guard declarations on
+the live service under ``REPRO_TSAN=1``, reporting through the same
+:class:`Finding` type.
+
 Findings can be suppressed per line with ``# staticcheck: ignore[GF00X]``
-(comma-separate several ids) or per file with a
-``# staticcheck: ignore-file[GF00X]`` comment.
+(comma-separate several ids, optionally followed by ``-- rationale``) or
+per file with a ``# staticcheck: ignore-file[GF00X]`` comment.  Legacy
+findings can be snapshotted with ``--write-baseline`` and masked with
+``--baseline`` so only regressions fail.
 
 Run it as ``python -m repro.tools.staticcheck src/repro``, via the CLI
 subcommand ``repro lint``, or programmatically through

@@ -1,22 +1,92 @@
 """Command-line front end: ``python -m repro.tools.staticcheck`` / ``repro lint``.
 
 Exit codes: 0 clean, 1 findings, 2 usage error.
+
+Baselines let a tree adopt a new rule without fixing every historical
+finding at once: ``--write-baseline FILE`` snapshots the current
+findings, and ``--baseline FILE`` on later runs reports (and fails on)
+only findings *not* in the snapshot.  Baseline entries are keyed by
+``(path, rule, message)`` — deliberately not by line number, so pure
+line drift (an unrelated edit above a known finding) never breaks CI.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Sequence
+from collections import Counter
+from typing import List, Sequence, Tuple
 
-from repro.tools.staticcheck.engine import check_paths
+from repro.tools.staticcheck.engine import Finding, check_paths
 from repro.tools.staticcheck.reporters import (
     render_json,
     render_rule_listing,
     render_text,
 )
 
-__all__ = ["build_parser", "main", "run"]
+__all__ = [
+    "build_parser",
+    "load_baseline",
+    "main",
+    "run",
+    "write_baseline",
+]
+
+#: Identity of a finding across runs (line numbers drift; content doesn't).
+BaselineKey = Tuple[str, str, str]
+
+
+def _baseline_key(finding: Finding) -> BaselineKey:
+    return (finding.path, finding.rule, finding.message)
+
+
+def write_baseline(path: str, findings: Sequence[Finding]) -> None:
+    """Write *findings* to *path* as a versioned JSON snapshot."""
+    payload = {
+        "version": 1,
+        "findings": [
+            {"path": f.path, "rule": f.rule, "message": f.message}
+            for f in findings
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_baseline(path: str) -> Counter:
+    """Read a baseline snapshot; returns a multiset of finding keys.
+
+    A multiset (not a set) so that fixing one of two identical findings
+    in a file still surfaces nothing new, while introducing a *third*
+    does.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or payload.get("version") != 1:
+        raise ValueError(f"{path}: not a staticcheck baseline (version 1)")
+    keys: Counter = Counter()
+    for entry in payload.get("findings", []):
+        keys[(entry["path"], entry["rule"], entry["message"])] += 1
+    return keys
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Counter
+) -> Tuple[List[Finding], int]:
+    """Split *findings* into (new, suppressed-count) against *baseline*."""
+    budget = Counter(baseline)
+    fresh: List[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        key = _baseline_key(finding)
+        if budget[key] > 0:
+            budget[key] -= 1
+            suppressed += 1
+        else:
+            fresh.append(finding)
+    return fresh, suppressed
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -24,7 +94,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro.tools.staticcheck",
         description=(
             "Project-specific AST lint for the GreFar reproduction "
-            "(rules GF001-GF007; see docs/STATIC_ANALYSIS.md)"
+            "(rules GF001-GF012; see docs/STATIC_ANALYSIS.md)"
         ),
     )
     parser.add_argument(
@@ -49,6 +119,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule registry and exit",
     )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="suppress findings recorded in FILE; fail only on new ones",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="snapshot current findings to FILE and exit 0",
+    )
     return parser
 
 
@@ -56,6 +138,8 @@ def run(
     paths: Sequence[str],
     fmt: str = "text",
     select: str | None = None,
+    baseline: str | None = None,
+    write_baseline_path: str | None = None,
 ) -> int:
     """Scan *paths* and print a report; return the exit code."""
     selected = None
@@ -66,8 +150,21 @@ def run(
     except (FileNotFoundError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if write_baseline_path is not None:
+        write_baseline(write_baseline_path, findings)
+        noun = "finding" if len(findings) == 1 else "findings"
+        print(f"staticcheck: wrote {len(findings)} {noun} to {write_baseline_path}")
+        return 0
+    suppressed = 0
+    if baseline is not None:
+        try:
+            known = load_baseline(baseline)
+        except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        findings, suppressed = apply_baseline(findings, known)
     renderer = render_json if fmt == "json" else render_text
-    print(renderer(findings))
+    print(renderer(findings, baselined=suppressed))
     return 1 if findings else 0
 
 
@@ -76,7 +173,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.list_rules:
         print(render_rule_listing())
         return 0
-    return run(args.paths, fmt=args.format, select=args.select)
+    return run(
+        args.paths,
+        fmt=args.format,
+        select=args.select,
+        baseline=args.baseline,
+        write_baseline_path=args.write_baseline,
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,373 @@
+"""The concurrency rule family (GF010-GF012), built on the project model.
+
+These are the engine-v2 rules: they run once against the
+:class:`~repro.tools.staticcheck.project.Project` built over every
+scanned file, so they can follow a field access through the call graph
+(GF010), stitch a global lock-order graph out of nested ``with`` blocks
+in different modules (GF011), and propagate "this function blocks"
+facts from a WAL flush up to the lock that was held three frames above
+it (GF012).
+
+Two comment conventions drive them (see ``docs/STATIC_ANALYSIS.md``):
+
+``# guarded-by: self.<lock>``
+    on a ``self.<field> = ...`` assignment declares that every read or
+    write of ``<field>`` must happen while ``self.<lock>`` is held.
+
+``# lock-alias: Class.attr``
+    on a lock-attribute assignment declares that this attribute holds
+    the *same runtime lock object* as ``Class.attr`` (the slot ticker
+    borrows the gateway's lock), merging the two names into one node of
+    the lock graph.
+
+The same annotations feed the runtime sanitizer
+(:mod:`repro.tools.tsan`), so the static and dynamic layers enforce one
+discipline and report in one format.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterator, List, Set, Tuple
+
+from repro.tools.staticcheck.rules import ProjectRule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.tools.staticcheck.project import (
+        CallSite,
+        FunctionInfo,
+        LockKey,
+        Project,
+    )
+
+__all__ = [
+    "CONCURRENCY_RULES",
+    "GuardedFieldRule",
+    "LockOrderRule",
+    "LockHeldBlockingRule",
+]
+
+#: Methods where a class constructs itself; ``self`` is not yet shared,
+#: so guarded-field writes there need no lock.
+_CTOR_NAMES = {"__init__", "__post_init__"}
+
+
+def _fmt(key: "LockKey") -> str:
+    return f"{key[0]}.{key[1]}"
+
+
+def _callers(project: "Project") -> Dict["FunctionInfo", List["CallSite"]]:
+    table: Dict["FunctionInfo", List["CallSite"]] = {
+        func: [] for func in project.functions
+    }
+    for func in project.functions:
+        for site in func.calls:
+            table.setdefault(site.callee, []).append(site)
+    return table
+
+
+def _guaranteed_entry(
+    project: "Project",
+) -> Dict["FunctionInfo", FrozenSet["LockKey"]]:
+    """Locks *guaranteed* held on entry: intersection over all callers.
+
+    A function with no resolved caller is a potential entry point and
+    gets the empty set; everything else starts at the full lock universe
+    and shrinks to a fixpoint.  This is what lets a private
+    ``_foo_locked`` helper touch guarded state lock-free, provided every
+    caller holds the guard at the call site.
+    """
+    callers = _callers(project)
+    universe = frozenset(project.lock_reentrant)
+    entry: Dict["FunctionInfo", FrozenSet["LockKey"]] = {
+        func: (universe if callers[func] else frozenset())
+        for func in project.functions
+    }
+    changed = True
+    while changed:
+        changed = False
+        for func in project.functions:
+            if not callers[func]:
+                continue
+            new: FrozenSet["LockKey"] = universe
+            for site in callers[func]:
+                new = new & (frozenset(site.held) | entry[site.function])
+            if new != entry[func]:
+                entry[func] = new
+                changed = True
+    return entry
+
+
+def _may_entry(project: "Project") -> Dict["FunctionInfo", FrozenSet["LockKey"]]:
+    """Locks *possibly* held on entry: union over all callers.
+
+    The dual of :func:`_guaranteed_entry`, used for lock-order edges —
+    *any* caller that holds A while this function acquires B commits the
+    program to the A-before-B order.
+    """
+    callers = _callers(project)
+    entry: Dict["FunctionInfo", FrozenSet["LockKey"]] = {
+        func: frozenset() for func in project.functions
+    }
+    changed = True
+    while changed:
+        changed = False
+        for func in project.functions:
+            new: FrozenSet["LockKey"] = frozenset()
+            for site in callers[func]:
+                new = new | frozenset(site.held) | entry[site.function]
+            if new != entry[func]:
+                entry[func] = new
+                changed = True
+    return entry
+
+
+# ----------------------------------------------------------------------
+# GF010 — guarded-field discipline
+# ----------------------------------------------------------------------
+class GuardedFieldRule(ProjectRule):
+    """Fields declared ``# guarded-by:`` are only touched under their lock.
+
+    Checked interprocedurally: an access is clean when the guard is held
+    in the accessing function itself *or* guaranteed held by every
+    resolved caller (the ``_locked``-helper idiom).  Constructor writes
+    are exempt — ``self`` is not shared until ``__init__`` returns.
+    """
+
+    id = "GF010"
+    title = "guarded fields are only accessed while their declared lock is held"
+    rationale = (
+        "the service's replay bit-identity rests on the WAL sequence "
+        "counters and intake queues mutating atomically; a lock-free "
+        "touch of a # guarded-by field is a data race that can corrupt "
+        "the Theorem 1 accounting silently."
+    )
+
+    def check_project(self, project: "Project") -> Iterator[tuple]:
+        entry = _guaranteed_entry(project)
+        for func in project.functions:
+            for access in func.accesses:
+                guard = project.normalize_lock(
+                    (access.owner.name, access.owner.guarded[access.attr])
+                )
+                if guard in access.held or guard in entry[func]:
+                    continue
+                if (
+                    access.via_self
+                    and func.name in _CTOR_NAMES
+                    and func.class_name == access.owner.name
+                ):
+                    continue
+                verb = "written" if access.is_store else "read"
+                yield (
+                    func.ctx,
+                    access.node,
+                    f"guarded field {access.owner.name}.{access.attr} "
+                    f"{verb} without holding {_fmt(guard)} (declared "
+                    f"'# guarded-by: self.{access.owner.guarded[access.attr]}'); "
+                    "acquire the lock here or make every caller hold it",
+                )
+
+
+# ----------------------------------------------------------------------
+# GF011 — global lock-acquisition-order consistency
+# ----------------------------------------------------------------------
+class LockOrderRule(ProjectRule):
+    """The project-wide lock graph must be a DAG.
+
+    Every nested acquisition — directly via nested ``with`` blocks or
+    indirectly through a call made while a lock is held — contributes an
+    ``outer -> inner`` edge.  A cycle means two threads can each hold
+    one lock of a pair while waiting for the other: a deadlock waiting
+    for the right interleaving.  Re-acquiring a non-reentrant lock
+    already (possibly) held is flagged as a certain self-deadlock.
+    """
+
+    id = "GF011"
+    title = "lock acquisition order is globally consistent (the lock graph is a DAG)"
+    rationale = (
+        "the gateway's query endpoints, ticker and HTTP producers share "
+        "five locks; one inverted nesting anywhere freezes the whole "
+        "service under load, which no single-file rule can see."
+    )
+
+    def check_project(self, project: "Project") -> Iterator[tuple]:
+        may = _may_entry(project)
+        edges: Dict[Tuple["LockKey", "LockKey"], tuple] = {}
+        for func in project.functions:
+            for acq in func.acquisitions:
+                prior: Set["LockKey"] = set(acq.held) | may[func]
+                if acq.key in prior:
+                    if not project.is_reentrant(acq.key):
+                        yield (
+                            func.ctx,
+                            acq.node,
+                            f"non-reentrant lock {_fmt(acq.key)} may already "
+                            "be held on this path (self-deadlock); use a "
+                            "reentrant lock or split a *_locked helper",
+                        )
+                    prior.discard(acq.key)
+                for held in sorted(prior):
+                    edges.setdefault((held, acq.key), (func.ctx, acq.node))
+        component = _scc(edges)
+        for (src, dst), (ctx, node) in edges.items():
+            comp = component.get(src)
+            if comp is None or comp != component.get(dst):
+                continue
+            members = sorted({k for k, c in component.items() if c == comp})
+            cycle = " -> ".join(_fmt(m) for m in members + members[:1])
+            yield (
+                ctx,
+                node,
+                f"acquiring {_fmt(dst)} while holding {_fmt(src)} "
+                f"completes a lock-order cycle ({cycle}); pick one global "
+                "acquisition order",
+            )
+
+
+def _scc(
+    edges: Dict[Tuple["LockKey", "LockKey"], tuple]
+) -> Dict["LockKey", "LockKey"]:
+    """Map each node on a cycle to a canonical component id.
+
+    Kosaraju over the edge set; nodes whose strongly connected component
+    is trivial (size 1, no self-loop — self-loops are reported
+    separately) are omitted, so membership in the returned map means
+    "participates in some cycle".
+    """
+    adjacency: Dict["LockKey", List["LockKey"]] = {}
+    reverse: Dict["LockKey", List["LockKey"]] = {}
+    nodes: List["LockKey"] = []
+    for src, dst in edges:
+        for node in (src, dst):
+            if node not in adjacency:
+                adjacency[node] = []
+                reverse[node] = []
+                nodes.append(node)
+        adjacency[src].append(dst)
+        reverse[dst].append(src)
+    order: List["LockKey"] = []
+    seen: Set["LockKey"] = set()
+    for start in nodes:
+        if start in seen:
+            continue
+        seen.add(start)
+        stack: List[Tuple["LockKey", int]] = [(start, 0)]
+        while stack:
+            node, idx = stack.pop()
+            if idx < len(adjacency[node]):
+                stack.append((node, idx + 1))
+                nxt = adjacency[node][idx]
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, 0))
+            else:
+                order.append(node)
+    visited: Dict["LockKey", "LockKey"] = {}
+    cyclic: Dict["LockKey", "LockKey"] = {}
+    for start in reversed(order):
+        if start in visited:
+            continue
+        members = [start]
+        visited[start] = start
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for prev in reverse[node]:
+                if prev not in visited:
+                    visited[prev] = start
+                    members.append(prev)
+                    frontier.append(prev)
+        if len(members) > 1:
+            for member in members:
+                cyclic[member] = start
+    return cyclic
+
+
+# ----------------------------------------------------------------------
+# GF012 — no lock held across blocking calls
+# ----------------------------------------------------------------------
+class LockHeldBlockingRule(ProjectRule):
+    """Nothing blocks — sleeps, sockets, file writes, waits — under a lock.
+
+    Composes with GF009's blocking-call table and propagates through the
+    call graph: a function containing a blocking site is itself
+    blocking, and calling it with a lock held is flagged at the call
+    site.  A ``# staticcheck: ignore[GF012]`` suppression *vets* its
+    site — the reviewed blocking fact does not propagate further up, so
+    one suppression at the innermost lock-meets-blocking frontier (the
+    WAL flush that must happen inside the sequence lock) is enough.
+    """
+
+    id = "GF012"
+    title = "no lock held across blocking calls (I/O, sleeps, waits, joins)"
+    rationale = (
+        "a lock held across a disk flush or socket wait turns one slow "
+        "syscall into a service-wide stall: every HTTP thread and the "
+        "ticker queue up behind it and the slot schedule drifts."
+    )
+
+    def check_project(self, project: "Project") -> Iterator[tuple]:
+        blocking = self._blocking_functions(project)
+        for func in project.functions:
+            for site in func.block_sites:
+                if site.held:
+                    yield (
+                        func.ctx,
+                        site.node,
+                        f"blocking call {site.desc} while holding "
+                        f"{self._held_desc(site.held)}; move the I/O "
+                        "outside the critical section or suppress with a "
+                        "rationale",
+                    )
+            for site in func.calls:
+                if site.held and site.callee in blocking:
+                    yield (
+                        func.ctx,
+                        site.node,
+                        f"call to blocking {site.callee.qualname}() while "
+                        f"holding {self._held_desc(site.held)}; it reaches "
+                        "blocking I/O — move it outside the critical "
+                        "section or suppress with a rationale",
+                    )
+
+    @staticmethod
+    def _held_desc(held: tuple) -> str:
+        return ", ".join(_fmt(key) for key in held)
+
+    def _blocking_functions(self, project: "Project") -> Set["FunctionInfo"]:
+        """Fixpoint of "transitively reaches unvetted blocking I/O".
+
+        Suppressed sites (``# staticcheck: ignore[GF012]`` on the line)
+        are treated as reviewed-safe and do not propagate.
+        """
+        blocking: Set["FunctionInfo"] = set()
+        changed = True
+        while changed:
+            changed = False
+            for func in project.functions:
+                if func in blocking:
+                    continue
+                direct = any(
+                    not self._vetted(func, site.node)
+                    for site in func.block_sites
+                )
+                via_call = any(
+                    site.callee in blocking and not self._vetted(func, site.node)
+                    for site in func.calls
+                )
+                if direct or via_call:
+                    blocking.add(func)
+                    changed = True
+        return blocking
+
+    def _vetted(self, func: "FunctionInfo", node: ast.AST) -> bool:
+        line = getattr(node, "lineno", 0)
+        return func.ctx.suppressed(self.id, line)
+
+
+CONCURRENCY_RULES: tuple = (
+    GuardedFieldRule(),
+    LockOrderRule(),
+    LockHeldBlockingRule(),
+)

@@ -13,7 +13,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Sequence, Set
 
-from repro.tools.staticcheck.rules import RULE_REGISTRY, RULES, Rule
+from repro.tools.staticcheck.project import build_project
+from repro.tools.staticcheck.rules import RULE_REGISTRY, RULES, ProjectRule, Rule
 
 __all__ = ["Finding", "ModuleContext", "check_file", "check_paths", "iter_python_files"]
 
@@ -104,37 +105,82 @@ def _select_rules(select: Sequence[str] | None) -> List[Rule]:
     return chosen
 
 
-def check_file(path: Path | str, select: Sequence[str] | None = None) -> List[Finding]:
-    """Run the (selected) rules over one file; return sorted findings."""
-    path = Path(path)
+def _parse_file(path: Path) -> "ModuleContext | Finding":
+    """Parse one file into a context, or a GF000 finding on failure."""
     source = path.read_text(encoding="utf-8")
     display = str(path)
     try:
         tree = ast.parse(source, filename=display)
     except SyntaxError as exc:
-        return [
-            Finding(
-                path=display,
-                line=exc.lineno or 1,
-                col=(exc.offset or 1) - 1,
-                rule=PARSE_ERROR_ID,
-                message=f"could not parse file: {exc.msg}",
-            )
-        ]
-    ctx = ModuleContext(path=path, tree=tree, lines=source.splitlines())
+        line = exc.lineno or 1
+        col = (exc.offset or 1) - 1
+        return Finding(
+            path=display,
+            line=line,
+            col=col,
+            rule=PARSE_ERROR_ID,
+            message=f"could not parse file: {exc.msg} (line {line}, column {col + 1})",
+        )
+    return ModuleContext(path=path, tree=tree, lines=source.splitlines())
+
+
+def _check_contexts(
+    contexts: List["ModuleContext"], rules: List[Rule]
+) -> List[Finding]:
+    """Per-file rules on each context, then project rules on all of them."""
     findings: List[Finding] = []
-    for rule in _select_rules(select):
-        if not rule.applies_to(ctx):
-            continue
-        for node, message in rule.check(ctx):
-            line = getattr(node, "lineno", 1)
-            col = getattr(node, "col_offset", 0)
-            if ctx.suppressed(rule.id, line):
+    file_rules = [rule for rule in rules if not isinstance(rule, ProjectRule)]
+    project_rules = [rule for rule in rules if isinstance(rule, ProjectRule)]
+    for ctx in contexts:
+        display = str(ctx.path)
+        for rule in file_rules:
+            if not rule.applies_to(ctx):
                 continue
-            findings.append(
-                Finding(path=display, line=line, col=col, rule=rule.id, message=message)
-            )
+            for node, message in rule.check(ctx):
+                line = getattr(node, "lineno", 1)
+                col = getattr(node, "col_offset", 0)
+                if ctx.suppressed(rule.id, line):
+                    continue
+                findings.append(
+                    Finding(
+                        path=display, line=line, col=col, rule=rule.id, message=message
+                    )
+                )
+    if project_rules and contexts:
+        # The model spans *all* scanned files — call-graph edges cross
+        # module boundaries even when a rule's scope narrows where its
+        # findings may land.
+        project = build_project(contexts)
+        for rule in project_rules:
+            for ctx, node, message in rule.check_project(project):
+                if not rule.applies_to(ctx):
+                    continue
+                line = getattr(node, "lineno", 1)
+                col = getattr(node, "col_offset", 0)
+                if ctx.suppressed(rule.id, line):
+                    continue
+                findings.append(
+                    Finding(
+                        path=str(ctx.path),
+                        line=line,
+                        col=col,
+                        rule=rule.id,
+                        message=message,
+                    )
+                )
     return sorted(findings)
+
+
+def check_file(path: Path | str, select: Sequence[str] | None = None) -> List[Finding]:
+    """Run the (selected) rules over one file; return sorted findings.
+
+    Project rules see a single-file project here — enough for fixtures
+    and ad-hoc checks; run :func:`check_paths` for cross-module edges.
+    """
+    parsed = _parse_file(Path(path))
+    if isinstance(parsed, Finding):
+        return [parsed]
+    return _check_contexts([parsed], _select_rules(select))
 
 
 def iter_python_files(paths: Iterable[Path | str]) -> Iterator[Path]:
@@ -155,8 +201,18 @@ def iter_python_files(paths: Iterable[Path | str]) -> Iterator[Path]:
 def check_paths(
     paths: Iterable[Path | str], select: Sequence[str] | None = None
 ) -> List[Finding]:
-    """Run the (selected) rules over every Python file under *paths*."""
+    """Run the (selected) rules over every Python file under *paths*.
+
+    All files are parsed first so the project rules (GF010-GF012) see
+    one symbol table and call graph spanning the whole scan set.
+    """
     findings: List[Finding] = []
+    contexts: List[ModuleContext] = []
     for path in iter_python_files(paths):
-        findings.extend(check_file(path, select=select))
-    return findings
+        parsed = _parse_file(path)
+        if isinstance(parsed, Finding):
+            findings.append(parsed)
+        else:
+            contexts.append(parsed)
+    findings.extend(_check_contexts(contexts, _select_rules(select)))
+    return sorted(findings)

@@ -11,20 +11,27 @@ from repro.tools.staticcheck.rules import RULES
 __all__ = ["render_text", "render_json", "render_rule_listing"]
 
 
-def render_text(findings: Sequence[Finding]) -> str:
-    """One ``path:line:col: RULE message`` line per finding + a summary."""
+def render_text(findings: Sequence[Finding], baselined: int = 0) -> str:
+    """One ``path:line:col: RULE message`` line per finding + a summary.
+
+    *baselined* is how many findings a ``--baseline`` snapshot absorbed;
+    it is surfaced in the summary so a "clean" run never silently hides
+    that the baseline is doing the heavy lifting.
+    """
+    suffix = f" ({baselined} baselined)" if baselined else ""
     if not findings:
-        return "staticcheck: no issues found"
+        return f"staticcheck: no issues found{suffix}"
     lines = [finding.render() for finding in findings]
     noun = "finding" if len(findings) == 1 else "findings"
-    lines.append(f"staticcheck: {len(findings)} {noun}")
+    lines.append(f"staticcheck: {len(findings)} {noun}{suffix}")
     return "\n".join(lines)
 
 
-def render_json(findings: Sequence[Finding]) -> str:
+def render_json(findings: Sequence[Finding], baselined: int = 0) -> str:
     """Machine-readable report (used by the CI gate)."""
     payload = {
         "count": len(findings),
+        "baselined": baselined,
         "findings": [finding.as_dict() for finding in findings],
     }
     return json.dumps(payload, indent=2, sort_keys=True)

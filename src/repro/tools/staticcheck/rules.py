@@ -16,9 +16,59 @@ from typing import TYPE_CHECKING, Iterator, Sequence, Tuple
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.tools.staticcheck.engine import ModuleContext
 
-__all__ = ["Rule", "RULES", "RULE_REGISTRY", "rule_ids"]
+__all__ = [
+    "BLOCKING_BUILTINS",
+    "BLOCKING_CALLS",
+    "BLOCKING_METHOD_NAMES",
+    "BLOCKING_PREFIXES",
+    "ProjectRule",
+    "Rule",
+    "RULES",
+    "RULE_REGISTRY",
+    "rule_ids",
+]
 
 Violation = Tuple[ast.AST, str]
+
+# ----------------------------------------------------------------------
+# The shared blocking-call model.  GF009 (per-file, tick-path scoped)
+# and GF012 (project-wide, lock-held scoped) both read these tables so
+# "what counts as blocking" has exactly one definition.
+# ----------------------------------------------------------------------
+#: Canonical dotted calls that block the calling thread.
+BLOCKING_CALLS = frozenset({"time.sleep"})
+#: Canonical-path prefixes whose entire surface is considered blocking.
+BLOCKING_PREFIXES = (
+    "socket.",
+    "select.",
+    "subprocess.",
+    "urllib.request.",
+    "http.client.",
+    "os.fsync",
+)
+#: Builtins that block (shadowed-by-import names are exempted by callers).
+BLOCKING_BUILTINS = frozenset({"open", "input"})
+#: Method names that block regardless of receiver type: file/socket I/O,
+#: ``Event.wait``/``Thread.join``.  Receiver-untyped, so GF012 only
+#: consults this table when a lock is held and skips constant receivers
+#: (``", ".join(...)``).
+BLOCKING_METHOD_NAMES = frozenset(
+    {
+        "wait",
+        "join",
+        "flush",
+        "write",
+        "fsync",
+        "close",
+        "read",
+        "readline",
+        "recv",
+        "send",
+        "sendall",
+        "accept",
+        "connect",
+    }
+)
 
 
 class Rule:
@@ -41,6 +91,25 @@ class Rule:
         return ctx.module.startswith(tuple(self.scope))
 
     def check(self, ctx: "ModuleContext") -> Iterator[Violation]:
+        raise NotImplementedError
+
+
+class ProjectRule(Rule):
+    """A rule that sees the whole program, not one file at a time.
+
+    Project rules run after every file is parsed, against the
+    :class:`~repro.tools.staticcheck.project.Project` model (symbol
+    table, lock model, call graph).  ``check`` is a no-op so the
+    per-file dispatch skips them; the engine calls ``check_project``
+    once and applies each finding's own module context for scope and
+    suppression handling.
+    """
+
+    def check(self, ctx: "ModuleContext") -> Iterator[Violation]:
+        return iter(())
+
+    def check_project(self, project) -> Iterator[tuple]:
+        """Yield ``(ctx, node, message)`` triples across the project."""
         raise NotImplementedError
 
 
@@ -630,15 +699,9 @@ class TickPathBlockingRule(Rule):
     _TICK_NAMES = {"tick", "tick_once", "step", "decide", "run", "solve"}
     _TICK_PREFIXES = ("solve_",)
 
-    _BLOCKING_CALLS = {"time.sleep"}
-    _BLOCKING_PREFIXES = (
-        "socket.",
-        "select.",
-        "subprocess.",
-        "urllib.request.",
-        "http.client.",
-    )
-    _BLOCKING_BUILTINS = {"open", "input"}
+    _BLOCKING_CALLS = BLOCKING_CALLS
+    _BLOCKING_PREFIXES = BLOCKING_PREFIXES
+    _BLOCKING_BUILTINS = BLOCKING_BUILTINS
 
     def _on_tick_path(self, name: str) -> bool:
         return name in self._TICK_NAMES or name.startswith(self._TICK_PREFIXES)
@@ -680,6 +743,11 @@ class TickPathBlockingRule(Rule):
                 )
 
 
+# Imported at the bottom on purpose: concurrency.py subclasses
+# ProjectRule (defined above), so by the time this import runs every
+# name it needs from this module already exists.
+from repro.tools.staticcheck.concurrency import CONCURRENCY_RULES  # noqa: E402
+
 RULES: tuple[Rule, ...] = (
     DeterminismRule(),
     QueueHygieneRule(),
@@ -690,6 +758,7 @@ RULES: tuple[Rule, ...] = (
     PerfClockRule(),
     SolverRoutingRule(),
     TickPathBlockingRule(),
+    *CONCURRENCY_RULES,
 )
 
 RULE_REGISTRY: dict = {rule.id: rule for rule in RULES}

@@ -1,0 +1,310 @@
+"""Runtime lock-order and race sanitizer (``REPRO_TSAN=1``).
+
+The static rules GF010-GF012 prove what the AST can see; this module
+checks the same discipline on the *running* service, in the spirit of
+:mod:`repro._contracts`: disabled it costs nothing (the factory hands
+out plain stdlib locks and ``watch`` is a no-op), enabled it wraps every
+service lock and guarded object with trackers that record
+
+* the **acquisition order** of named locks per thread, flagging an
+  inversion the moment the second order is observed (``TSAN002``) —
+  no deadlock has to actually happen during the drill;
+* **self-deadlocks**: re-acquiring a held non-reentrant lock raises
+  :class:`TsanError` instead of hanging the test process (``TSAN003``);
+* **unguarded field accesses**: :func:`watch` swaps an object's class
+  for a shadow subclass whose ``__getattribute__``/``__setattr__``
+  verify that the lock named by the field's ``# guarded-by:`` source
+  annotation is held by the accessing thread (``TSAN001``).  The
+  annotations are parsed by the *static* engine
+  (:func:`repro.tools.staticcheck.project.extract_guarded_fields`), so
+  both layers enforce literally the same declarations.
+
+Violations are recorded as staticcheck
+:class:`~repro.tools.staticcheck.engine.Finding` objects — one report
+format for the AST layer and the runtime layer — and surfaced by the
+service drills (``benchmarks/service_smoke.py`` prints ``tsan OK``,
+``repro serve`` exits non-zero on a dirty shutdown, and
+``tests/test_service_tsan.py`` asserts :func:`reports` stays empty).
+
+The flag is re-read on every :func:`enabled` call, matching the
+``REPRO_CONTRACTS`` convention.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import traceback
+from typing import Dict, List, Optional, Tuple, Union
+
+__all__ = [
+    "TsanError",
+    "TsanLock",
+    "enabled",
+    "named_lock",
+    "reports",
+    "reset",
+    "watch",
+]
+
+_TRUTHY = {"1", "true", "on", "yes"}
+
+#: Rule ids used in runtime findings (same namespace style as GFxxx).
+UNGUARDED_ACCESS = "TSAN001"
+ORDER_INVERSION = "TSAN002"
+SELF_DEADLOCK = "TSAN003"
+
+
+class TsanError(AssertionError):
+    """A would-deadlock acquisition the sanitizer refused to perform."""
+
+
+def enabled() -> bool:
+    """Is the sanitizer on?  Re-reads ``REPRO_TSAN`` on every call."""
+    return os.environ.get("REPRO_TSAN", "").strip().lower() in _TRUTHY
+
+
+# ----------------------------------------------------------------------
+# Global sanitizer state (per process)
+# ----------------------------------------------------------------------
+_STATE_LOCK = threading.Lock()  # internal; never wrapped
+#: Observed order edges: (first, second) -> "file:line" of the witness.
+_EDGES: Dict[Tuple[str, str], str] = {}
+_REPORTS: List[object] = []
+_TL = threading.local()
+
+
+def _held_stack() -> List["TsanLock"]:
+    stack = getattr(_TL, "stack", None)
+    if stack is None:
+        stack = []
+        _TL.stack = stack
+    return stack
+
+
+def _caller_site() -> Tuple[str, int]:
+    """First stack frame outside this module (the offending code)."""
+    here = os.path.dirname(__file__)
+    for frame in reversed(traceback.extract_stack()):
+        if os.path.dirname(frame.filename) != here:
+            return frame.filename, frame.lineno or 0
+    return "<unknown>", 0
+
+
+def _record(rule: str, message: str) -> None:
+    from repro.tools.staticcheck.engine import Finding
+
+    path, line = _caller_site()
+    finding = Finding(path=path, line=line, col=0, rule=rule, message=message)
+    with _STATE_LOCK:
+        _REPORTS.append(finding)
+
+
+def reports() -> List[object]:
+    """Every violation recorded since the last :func:`reset`."""
+    with _STATE_LOCK:
+        return list(_REPORTS)
+
+
+def reset() -> None:
+    """Clear recorded violations and the observed lock-order edges."""
+    with _STATE_LOCK:
+        _REPORTS.clear()
+        _EDGES.clear()
+
+
+# ----------------------------------------------------------------------
+# Lock wrapper
+# ----------------------------------------------------------------------
+class TsanLock:
+    """A named lock that records acquisition order and holders.
+
+    Wraps a real ``threading.Lock``/``RLock`` and mirrors its context
+    manager and acquire/release surface, so it drops into any ``with``
+    block.  Names are global (``"Class.attr"`` by convention — the same
+    keys the static lock graph uses), so two objects sharing one name
+    would also share an order node; the service names every lock
+    uniquely except the deliberately shared gateway/ticker lock, which
+    *is* one object.
+    """
+
+    def __init__(self, name: str, reentrant: bool = False) -> None:
+        self.name = name
+        self.reentrant = reentrant
+        self._inner = threading.RLock() if reentrant else threading.Lock()
+
+    # -- bookkeeping ---------------------------------------------------
+    def _note_order(self, stack: List["TsanLock"]) -> None:
+        if not stack:
+            return
+        path, line = _caller_site()
+        site = f"{path}:{line}"
+        with _STATE_LOCK:
+            for held in stack:
+                if held.name == self.name:
+                    continue
+                edge = (held.name, self.name)
+                inverse = (self.name, held.name)
+                if inverse in _EDGES:
+                    _EDGES.setdefault(edge, site)
+                    witness = _EDGES[inverse]
+                    message = (
+                        f"lock-order inversion: '{self.name}' acquired while "
+                        f"holding '{held.name}', but the opposite order was "
+                        f"observed at {witness}; a deadlock needs only the "
+                        "right interleaving"
+                    )
+                    break
+                _EDGES.setdefault(edge, site)
+            else:
+                return
+        _record(ORDER_INVERSION, message)
+
+    # -- lock surface --------------------------------------------------
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        stack = _held_stack()
+        if any(lock is self for lock in stack) and not self.reentrant:
+            _record(
+                SELF_DEADLOCK,
+                f"non-reentrant lock '{self.name}' re-acquired by the "
+                "thread already holding it; this would deadlock",
+            )
+            raise TsanError(
+                f"self-deadlock on non-reentrant lock '{self.name}'"
+            )
+        self._note_order(stack)
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            stack.append(self)
+        return acquired
+
+    def release(self) -> None:
+        stack = _held_stack()
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] is self:
+                del stack[index]
+                break
+        self._inner.release()
+
+    def __enter__(self) -> "TsanLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def held_by_current_thread(self) -> bool:
+        return any(lock is self for lock in _held_stack())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "RLock" if self.reentrant else "Lock"
+        return f"TsanLock({self.name!r}, {kind})"
+
+
+def named_lock(
+    name: str, reentrant: bool = False
+) -> Union[TsanLock, threading.Lock, "threading.RLock"]:
+    """Create a service lock: plain stdlib when off, tracked when on.
+
+    The one lock-construction surface for :mod:`repro.service` — the
+    static engine recognizes it (like ``threading.Lock()``) and the
+    ``reentrant`` flag picks Lock vs RLock semantics in both modes.
+    Checked once at construction: services built before the env flag
+    flips keep their plain locks (matching how instances are built once
+    per process).
+    """
+    if enabled():
+        return TsanLock(name, reentrant=reentrant)
+    return threading.RLock() if reentrant else threading.Lock()
+
+
+# ----------------------------------------------------------------------
+# Guarded-field watcher
+# ----------------------------------------------------------------------
+_SHADOW_CACHE: Dict[type, type] = {}
+
+
+def _guarded_table(cls: type) -> Dict[str, str]:
+    """``{field: lock attr}`` for *cls*, from its ``# guarded-by`` comments."""
+    import inspect
+    import sys
+
+    from repro.tools.staticcheck.project import extract_guarded_fields
+
+    module = sys.modules.get(cls.__module__)
+    if module is None:
+        return {}
+    try:
+        source = inspect.getsource(module)
+    except (OSError, TypeError):
+        return {}
+    return extract_guarded_fields(source).get(cls.__name__, {})
+
+
+def _check_guard(obj: object, field_name: str, lock_attr: str, verb: str) -> None:
+    try:
+        lock = object.__getattribute__(obj, lock_attr)
+    except AttributeError:
+        return
+    if isinstance(lock, TsanLock) and not lock.held_by_current_thread():
+        _record(
+            UNGUARDED_ACCESS,
+            f"guarded field {type(obj).__bases__[0].__name__}.{field_name} "
+            f"{verb} without holding '{lock.name}' "
+            f"(declared '# guarded-by: self.{lock_attr}')",
+        )
+
+
+def _shadow_class(cls: type, guarded: Dict[str, str]) -> type:
+    cached = _SHADOW_CACHE.get(cls)
+    if cached is not None:
+        return cached
+    guarded = dict(guarded)
+
+    class Shadow(cls):  # type: ignore[misc, valid-type]
+        __tsan_guarded__ = guarded
+
+        def __getattribute__(self, name: str):
+            lock_attr = guarded.get(name)
+            if lock_attr is not None:
+                _check_guard(self, name, lock_attr, "read")
+            return super().__getattribute__(name)
+
+        def __setattr__(self, name: str, value) -> None:
+            lock_attr = guarded.get(name)
+            if lock_attr is not None:
+                _check_guard(self, name, lock_attr, "written")
+            super().__setattr__(name, value)
+
+    Shadow.__name__ = cls.__name__
+    Shadow.__qualname__ = cls.__qualname__
+    _SHADOW_CACHE[cls] = Shadow
+    return Shadow
+
+
+def watch(obj: object) -> object:
+    """Install guarded-field tracking on *obj* (no-op when disabled).
+
+    Call as the last line of a constructor: the swap happens after the
+    fields exist, so initialization writes — exempt statically too —
+    are never flagged.  Objects whose class declares no ``# guarded-by``
+    fields are returned untouched.
+    """
+    if not enabled():
+        return obj
+    cls = type(obj)
+    if getattr(cls, "__tsan_guarded__", None) is not None:
+        return obj  # already watched
+    guarded = _guarded_table(cls)
+    if not guarded:
+        return obj
+    try:
+        obj.__class__ = _shadow_class(cls, guarded)
+    except TypeError:  # __slots__/extension layouts cannot be swapped
+        return obj
+    return obj
+
+
+def held_locks() -> Tuple[str, ...]:
+    """Names of the locks the calling thread currently holds (debugging)."""
+    return tuple(lock.name for lock in _held_stack())

@@ -1,0 +1,32 @@
+"""Deliberately bad: ``# guarded-by`` fields touched without their lock."""
+
+import threading
+
+
+class Tally:
+    """Declares its counters guarded but touches them lock-free."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0  # guarded-by: self._lock
+
+    def bump(self):
+        self.count += 1  # GF010: written without the lock
+
+    def peek(self):
+        return self.count  # GF010: read without the lock
+
+    def reset(self):
+        self.count = 0  # GF010: written without the lock
+
+    # Interprocedural: one caller holds the lock, one does not, so the
+    # helper's access is not *guaranteed* to be protected.
+    def _snapshot(self):
+        return self.count  # GF010: not every caller holds the lock
+
+    def locked_read(self):
+        with self._lock:
+            return self._snapshot()
+
+    def unlocked_read(self):
+        return self._snapshot()

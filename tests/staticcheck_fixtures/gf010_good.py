@@ -1,0 +1,28 @@
+"""Clean: every guarded access happens under the declared lock."""
+
+import threading
+
+
+class SafeTally:
+    def __init__(self):
+        self._lock = threading.Lock()
+        # Constructor writes are exempt: the object is not shared yet.
+        self.count = 0  # guarded-by: self._lock
+
+    def bump(self):
+        with self._lock:
+            self._bump_locked()
+
+    def drain(self):
+        with self._lock:
+            return self._bump_locked()
+
+    def _bump_locked(self):
+        # Private helper: every caller holds the lock, so the
+        # interprocedural pass proves these accesses safe.
+        self.count += 1
+        return self.count
+
+    def peek(self):
+        with self._lock:
+            return self.count

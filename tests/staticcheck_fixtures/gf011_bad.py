@@ -1,0 +1,19 @@
+"""Deliberately bad: two methods acquire the same locks in opposite order."""
+
+import threading
+
+
+class Pair:
+    def __init__(self):
+        self.first = threading.Lock()
+        self.second = threading.Lock()
+
+    def forward(self):
+        with self.first:
+            with self.second:  # GF011: first -> second ...
+                return 1
+
+    def backward(self):
+        with self.second:
+            with self.first:  # GF011: ... and second -> first
+                return 2

@@ -1,0 +1,23 @@
+"""Clean: every path acquires the locks in the same global order."""
+
+import threading
+
+
+class OrderedPair:
+    def __init__(self):
+        self.first = threading.Lock()
+        self.second = threading.Lock()
+
+    def both(self):
+        with self.first:
+            with self.second:
+                return 1
+
+    def also_both(self):
+        with self.first:
+            with self.second:
+                return 2
+
+    def only_inner(self):
+        with self.second:
+            return 3

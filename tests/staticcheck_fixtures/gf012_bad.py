@@ -1,0 +1,25 @@
+"""Deliberately bad: blocking calls made while a lock is held."""
+
+import threading
+import time
+
+
+class Journal:
+    def __init__(self, sink):
+        self._lock = threading.Lock()
+        self._sink = sink
+
+    def pause(self):
+        with self._lock:
+            time.sleep(0.1)  # GF012: sleeping with the lock held
+
+    def flush_held(self):
+        with self._lock:
+            self._sink.flush()  # GF012: I/O with the lock held
+
+    def indirect(self):
+        with self._lock:
+            self._do_io()  # GF012: callee blocks (transitively)
+
+    def _do_io(self):
+        self._sink.write("x")

@@ -1,0 +1,22 @@
+"""Clean: critical sections stay pure; I/O happens after release."""
+
+import threading
+
+
+class BatchedJournal:
+    def __init__(self, sink):
+        self._lock = threading.Lock()
+        self._sink = sink
+        self.buffered = []  # guarded-by: self._lock
+
+    def enqueue(self, item):
+        with self._lock:
+            self.buffered.append(item)
+
+    def drain(self):
+        with self._lock:
+            batch = list(self.buffered)
+            self.buffered.clear()
+        # Lock released: the writes cannot stall other threads.
+        for item in batch:
+            self._sink.write(item)

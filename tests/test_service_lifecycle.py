@@ -63,6 +63,9 @@ def _spawn(data_dir: Path, cwd: Path, resume: bool = False) -> subprocess.Popen:
         env={
             "PYTHONPATH": str(REPO / "src"),
             "PATH": "/usr/bin:/bin:/usr/local/bin",
+            # Forward the sanitizer flag: the CI tsan leg reruns this
+            # drill with REPRO_TSAN=1 and a dirty gateway exits 1.
+            "REPRO_TSAN": os.environ.get("REPRO_TSAN", ""),
         },
     )
     # A reader thread, not select(): readline() may buffer several lines

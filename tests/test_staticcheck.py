@@ -1,6 +1,6 @@
 """Self-tests for the project static checker (repro.tools.staticcheck).
 
-Each rule GF001-GF009 gets one deliberately-bad fixture it must flag and
+Each rule GF001-GF012 gets one deliberately-bad fixture it must flag and
 one clean fixture it must pass; the fixtures live in
 ``tests/staticcheck_fixtures/`` and are parsed, never imported.
 """
@@ -34,6 +34,9 @@ RULE_CASES = [
     ("GF007", "gf007_bad.py", 3, "gf007_good.py"),
     ("GF008", "gf008_bad.py", 2, "gf008_good.py"),
     ("GF009", "gf009_bad.py", 3, "gf009_good.py"),
+    ("GF010", "gf010_bad.py", 4, "gf010_good.py"),
+    ("GF011", "gf011_bad.py", 2, "gf011_good.py"),
+    ("GF012", "gf012_bad.py", 3, "gf012_good.py"),
 ]
 
 
@@ -86,6 +89,9 @@ def test_syntax_error_reports_gf000():
     assert len(findings) == 1
     assert findings[0].rule == PARSE_ERROR_ID
     assert "could not parse" in findings[0].message
+    # The message pinpoints the spot, column included (1-based).
+    assert "line" in findings[0].message
+    assert "column" in findings[0].message
 
 
 def test_unknown_rule_selection_raises():
@@ -104,6 +110,9 @@ def test_rule_ids_registry():
         "GF007",
         "GF008",
         "GF009",
+        "GF010",
+        "GF011",
+        "GF012",
     ]
 
 

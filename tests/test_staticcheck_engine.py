@@ -1,0 +1,337 @@
+"""Unit tests for the project-aware engine behind GF010-GF012.
+
+Covers the pieces that are easy to break silently: symbol-table/call-graph
+construction, ``# guarded-by`` extraction, lock-alias normalization, the
+interprocedural guarantees (locked-helper exemption, suppression
+vetting), cross-file lock-order cycles, and the baseline CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.tools.staticcheck import check_paths
+from repro.tools.staticcheck.cli import main as staticcheck_main
+from repro.tools.staticcheck.engine import _parse_file
+from repro.tools.staticcheck.project import build_project, extract_guarded_fields
+
+
+def _write(tmp_path, name, source):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+def _project(tmp_path, **files):
+    contexts = [
+        _parse_file(_write(tmp_path, f"{name}.py", source))
+        for name, source in files.items()
+    ]
+    return build_project(contexts)
+
+
+BOX = """
+    import threading
+
+
+    class Box:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.items = []  # guarded-by: self._lock
+
+        def add(self, item):
+            with self._lock:
+                self._add_locked(item)
+
+        def _add_locked(self, item):
+            self.items.append(item)
+"""
+
+
+# ----------------------------------------------------------------------
+# Project model: symbols, locks, call graph
+# ----------------------------------------------------------------------
+def test_symbol_table_discovers_class_lock_and_guard(tmp_path):
+    project = _project(tmp_path, box=BOX)
+    (box,) = project.classes_by_name["Box"]
+    assert set(box.methods) == {"__init__", "add", "_add_locked"}
+    assert "_lock" in box.locks
+    assert not box.locks["_lock"].reentrant
+    assert box.guarded == {"items": "_lock"}
+    assert ("Box", "_lock") in project.lock_reentrant
+
+
+def test_call_graph_resolves_self_methods(tmp_path):
+    project = _project(tmp_path, box=BOX)
+    (box,) = project.classes_by_name["Box"]
+    helper = box.methods["_add_locked"]
+    callers = project.callers_of(helper)
+    assert [site.function.name for site in callers] == ["add"]
+    # The call happens with the lock held — recorded at the call site.
+    assert ("Box", "_lock") in callers[0].held
+
+
+def test_extract_guarded_fields_matches_engine_view():
+    source = textwrap.dedent(BOX)
+    assert extract_guarded_fields(source) == {"Box": {"items": "_lock"}}
+
+
+def test_lock_alias_normalizes_to_one_node(tmp_path):
+    project = _project(
+        tmp_path,
+        aliased="""
+        import threading
+
+
+        class Gateway:
+            def __init__(self):
+                self.lock = threading.RLock()
+
+
+        class Worker:
+            def __init__(self, lock):
+                self.lock = lock  # lock-alias: Gateway.lock
+        """,
+    )
+    assert project.normalize_lock(("Worker", "lock")) == ("Gateway", "lock")
+    assert project.is_reentrant(("Worker", "lock"))
+
+
+# ----------------------------------------------------------------------
+# Interprocedural guarantees
+# ----------------------------------------------------------------------
+def test_gf010_locked_helper_is_exempt(tmp_path):
+    path = _write(tmp_path, "box.py", textwrap.dedent(BOX))
+    assert check_paths([path], select=["GF010"]) == []
+
+
+def test_gf010_flags_one_unlocked_caller(tmp_path):
+    path = _write(
+        tmp_path,
+        "leak.py",
+        textwrap.dedent(
+            """
+            import threading
+
+
+            class Leak:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.value = 0  # guarded-by: self._lock
+
+                def _read(self):
+                    return self.value
+
+                def safe(self):
+                    with self._lock:
+                        return self._read()
+
+                def unsafe(self):
+                    return self._read()
+            """
+        ),
+    )
+    findings = check_paths([path], select=["GF010"])
+    assert len(findings) == 1
+    assert "Leak.value" in findings[0].message
+
+
+def test_gf011_cycle_across_files(tmp_path):
+    one = _write(
+        tmp_path,
+        "one.py",
+        textwrap.dedent(
+            """
+            import threading
+
+
+            class Alpha:
+                def __init__(self, beta: "Beta"):
+                    self._lock = threading.Lock()
+                    self.beta = beta
+
+                def forward(self):
+                    with self._lock:
+                        with self.beta._lock:
+                            return 1
+            """
+        ),
+    )
+    two = _write(
+        tmp_path,
+        "two.py",
+        textwrap.dedent(
+            """
+            import threading
+
+            from one import Alpha
+
+
+            class Beta:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.alpha: Alpha = None
+
+                def backward(self):
+                    with self._lock:
+                        with self.alpha._lock:
+                            return 2
+            """
+        ),
+    )
+    findings = check_paths([one, two], select=["GF011"])
+    assert len(findings) == 2
+    assert all("cycle" in f.message for f in findings)
+    # The cycle names both lock nodes in every message.
+    assert all(
+        "Alpha._lock" in f.message and "Beta._lock" in f.message
+        for f in findings
+    )
+
+
+def test_gf012_suppression_vets_transitive_callers(tmp_path):
+    # One suppression at the inner lock-meets-I/O frontier clears the
+    # outer caller too: the vetted callee no longer counts as blocking.
+    path = _write(
+        tmp_path,
+        "vetted.py",
+        textwrap.dedent(
+            """
+            import threading
+
+
+            class Store:
+                def __init__(self, sink):
+                    self._lock = threading.Lock()
+                    self._sink = sink
+
+                def save(self):
+                    with self._lock:
+                        self._sink.flush()  # staticcheck: ignore[GF012] -- durability demo
+
+                def outer(self):
+                    with self._lock:
+                        self.save()
+            """
+        ),
+    )
+    assert check_paths([path], select=["GF012"]) == []
+
+
+def test_gf011_self_deadlock_on_nonreentrant_reacquire(tmp_path):
+    path = _write(
+        tmp_path,
+        "redo.py",
+        textwrap.dedent(
+            """
+            import threading
+
+
+            class Redo:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def once(self):
+                    with self._lock:
+                        self._again()
+
+                def _again(self):
+                    with self._lock:
+                        return 1
+            """
+        ),
+    )
+    findings = check_paths([path], select=["GF011"])
+    assert len(findings) == 1
+    assert "non-reentrant" in findings[0].message
+
+
+def test_gf011_reentrant_reacquire_is_fine(tmp_path):
+    path = _write(
+        tmp_path,
+        "redo_ok.py",
+        textwrap.dedent(
+            """
+            import threading
+
+
+            class RedoOK:
+                def __init__(self):
+                    self._lock = threading.RLock()
+
+                def once(self):
+                    with self._lock:
+                        self._again()
+
+                def _again(self):
+                    with self._lock:
+                        return 1
+            """
+        ),
+    )
+    assert check_paths([path], select=["GF011"]) == []
+
+
+# ----------------------------------------------------------------------
+# GF000 parse errors carry a column
+# ----------------------------------------------------------------------
+def test_parse_error_message_has_line_and_column(tmp_path):
+    path = _write(tmp_path, "broken.py", "def f(:\n    pass\n")
+    (finding,) = check_paths([path])
+    assert finding.rule == "GF000"
+    assert "line 1" in finding.message
+    assert "column" in finding.message
+
+
+# ----------------------------------------------------------------------
+# Baseline CLI
+# ----------------------------------------------------------------------
+def test_baseline_write_then_compare(tmp_path, capsys):
+    bad = _write(
+        tmp_path,
+        "dirty.py",
+        "import random\n\n\ndef pick(xs):\n    return random.choice(xs)\n",
+    )
+    baseline = tmp_path / "baseline.json"
+
+    assert staticcheck_main([str(bad), "--write-baseline", str(baseline)]) == 0
+    payload = json.loads(baseline.read_text())
+    assert payload["version"] == 1
+    assert len(payload["findings"]) == 1
+    capsys.readouterr()
+
+    # Same tree, baselined: clean exit, suppression surfaced in summary.
+    assert staticcheck_main([str(bad), "--baseline", str(baseline)]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+
+    # A new finding still fails, even with the baseline applied.
+    bad.write_text(
+        bad.read_text() + "\n\ndef pick2():\n    return random.random()\n"
+    )
+    assert staticcheck_main([str(bad), "--baseline", str(baseline)]) == 1
+    out = capsys.readouterr().out
+    assert "random.random" in out
+    assert "1 baselined" in out
+
+
+def test_baseline_is_keyed_by_content_not_line(tmp_path, capsys):
+    bad = _write(
+        tmp_path,
+        "drift.py",
+        "import random\n\n\ndef pick(xs):\n    return random.choice(xs)\n",
+    )
+    baseline = tmp_path / "baseline.json"
+    assert staticcheck_main([str(bad), "--write-baseline", str(baseline)]) == 0
+    # Unrelated edit above the finding shifts its line; still baselined.
+    bad.write_text("X = 1\n" + bad.read_text())
+    assert staticcheck_main([str(bad), "--baseline", str(baseline)]) == 0
+    capsys.readouterr()
+
+
+def test_corrupt_baseline_is_a_usage_error(tmp_path, capsys):
+    bad = _write(tmp_path, "clean.py", "X = 1\n")
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text("{}")
+    assert staticcheck_main([str(bad), "--baseline", str(baseline)]) == 2
+    assert "error:" in capsys.readouterr().err
