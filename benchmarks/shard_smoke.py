@@ -1,0 +1,118 @@
+"""Shard smoke drill: sharded multi-DC run equivalence and throughput.
+
+Runs the wide multi-DC scenario twice — once on the serial
+:class:`GreFarScheduler`, once on a :class:`ShardController` with
+``verify="assert"`` — and audits:
+
+* **equivalence** — the beta = 0 sharded run must match the serial run
+  metric for metric (bit-identity is asserted every slot by the verify
+  mode; any divergence raises before the comparison even runs);
+* **throughput** — slots/second for both paths is reported, and the
+  sharded path must complete within :data:`MAX_SLOWDOWN` of serial
+  (scatter/gather IPC costs real time on small problems; the bound
+  catches pathological supervision overhead, not a speedup claim);
+* **supervision** — a worker-kill drill mid-run must survive: every
+  slot completed, the crash and respawn recorded as incidents.
+
+Used by the CI ``chaos`` job (it greps for ``equivalence OK``); exits
+0 on success, 1 on any failed check.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.core.grefar import GreFarScheduler
+from repro.distrib import ShardController, run_shard_drill
+from repro.scenarios import wide_scenario
+from repro.simulation.simulator import Simulator
+
+HORIZON = 60
+DCS = 6
+SHARDS = 3
+V = 7.5
+
+#: Sharded wall-clock must stay within this factor of serial.  The wide
+#: scenario's per-slot solve is tiny, so IPC dominates; the bound only
+#: guards against supervision pathologies (per-slot respawns, leaked
+#: waits), not marketing.
+MAX_SLOWDOWN = 25.0
+
+
+def _metrics(summary) -> dict:
+    payload = summary.as_dict()
+    payload.pop("scheduler", None)
+    return payload
+
+
+def main() -> int:
+    failures = []
+    scenario = wide_scenario(horizon=HORIZON, seed=0, num_datacenters=DCS)
+    print(
+        f"wide scenario: {DCS} data centers, {scenario.cluster.num_job_types} "
+        f"job types, {HORIZON} slots"
+    )
+
+    start = time.perf_counter()
+    serial = Simulator(
+        scenario, GreFarScheduler(scenario.cluster, v=V), validate=True
+    ).run(HORIZON)
+    serial_elapsed = time.perf_counter() - start
+    print(f"serial : {HORIZON / serial_elapsed:8.1f} slots/s ({serial_elapsed:.2f}s)")
+
+    controller = ShardController(
+        scenario.cluster, num_shards=SHARDS, v=V, verify="assert"
+    )
+    try:
+        start = time.perf_counter()
+        sharded = Simulator(scenario, controller, validate=True).run(HORIZON)
+        sharded_elapsed = time.perf_counter() - start
+    finally:
+        controller.shutdown()
+    print(
+        f"sharded: {HORIZON / sharded_elapsed:8.1f} slots/s "
+        f"({sharded_elapsed:.2f}s, {SHARDS} shards)"
+    )
+
+    if _metrics(sharded.summary) == _metrics(serial.summary):
+        print(
+            f"equivalence OK: {HORIZON} sharded slots bit-identical to "
+            "serial (verify=assert checked every slot)"
+        )
+    else:
+        failures.append("sharded summary diverged from serial")
+    if controller.incident_count != 0:
+        failures.append(
+            f"healthy run recorded {controller.incident_count} incident(s)"
+        )
+    if sharded_elapsed > MAX_SLOWDOWN * serial_elapsed:
+        failures.append(
+            f"sharded run took {sharded_elapsed:.2f}s vs serial "
+            f"{serial_elapsed:.2f}s (> {MAX_SLOWDOWN:g}x)"
+        )
+
+    report = run_shard_drill(
+        scenario,
+        num_shards=SHARDS,
+        v=V,
+        kind="kill",
+        slot=HORIZON // 3,
+        horizon=HORIZON,
+    )
+    print(report.render())
+    if report.survived:
+        print(
+            "drill OK: worker SIGKILLed mid-run, every slot completed, "
+            f"{report.respawns} respawn(s) recorded"
+        )
+    else:
+        failures.append("worker-kill drill did not survive")
+
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Sharded scatter-gather execution of a single simulation run.
+
+The cluster is partitioned by data center into shard worker processes;
+each slot is scattered (masked global matrices + state), solved
+per-shard, gathered under supervision (heartbeats, deadlines,
+retry/backoff, respawn with checkpoint re-sync, degraded fallback) and
+merged back into the exact serial slot body.  See
+``docs/DISTRIBUTED.md`` for the architecture and the failure matrix.
+"""
+
+from repro.distrib.chaos import DRILL_KINDS, ShardDrillReport, run_shard_drill
+from repro.distrib.controller import ShardController, partition_sites
+from repro.distrib.policy import (
+    FALLBACK_MODES,
+    SHARD_FAILURE_REASONS,
+    ShardDivergenceError,
+    ShardIncident,
+    ShardPolicy,
+)
+from repro.distrib.worker import ShardWorker, WorkerConfig
+
+__all__ = [
+    "DRILL_KINDS",
+    "FALLBACK_MODES",
+    "SHARD_FAILURE_REASONS",
+    "ShardController",
+    "ShardDivergenceError",
+    "ShardDrillReport",
+    "ShardIncident",
+    "ShardPolicy",
+    "ShardWorker",
+    "WorkerConfig",
+    "partition_sites",
+    "run_shard_drill",
+]

@@ -1,0 +1,164 @@
+"""Shard chaos drill: kill/hang/straggle a worker mid-run, assert survival.
+
+The acceptance bar for the sharded slot loop mirrors the solver chaos
+drill one level up: with a shard worker SIGKILLed (or hung, or
+straggling) mid-run, the full simulation must complete, every slot must
+carry a valid action and metrics record (**no acknowledged slot result
+is lost**), and the supervision must be visible as structured
+``resilient.shard.*`` incidents.  :func:`run_shard_drill` packages the
+whole check behind ``repro shard --drill`` and the CI ``chaos`` job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro._validation import require_integer, require_positive
+from repro.distrib.controller import ShardController
+from repro.distrib.policy import ShardPolicy
+from repro.faults.process import ProcessFaultEvent, ProcessFaultSchedule
+from repro.obs.registry import stats_registry
+
+__all__ = ["DRILL_KINDS", "ShardDrillReport", "run_shard_drill"]
+
+#: Drill name -> process fault kind injected into the target worker.
+DRILL_KINDS = {
+    "kill": "worker_kill",
+    "hang": "worker_hang",
+    "straggle": "worker_straggle",
+    "slow-start": "slow_start",
+}
+
+
+@dataclass(frozen=True)
+class ShardDrillReport:
+    """What one shard fault drill observed."""
+
+    kind: str
+    slots: int
+    horizon: int
+    incidents: int
+    respawns: int
+    fallback_slots: int
+    retired_shards: Tuple[int, ...]
+    counters: Dict[str, float]
+    summary: object  # SimulationSummary
+
+    @property
+    def lost_slots(self) -> int:
+        """Slots whose metrics never landed (must be 0 to survive)."""
+        return self.horizon - self.slots
+
+    @property
+    def survived(self) -> bool:
+        """Run completed, nothing lost, and the fault left a visible mark."""
+        return self.lost_slots == 0 and self.incidents > 0
+
+    def render(self) -> str:
+        lines = [
+            f"shard drill ({self.kind}): {self.slots}/{self.horizon} slots "
+            f"completed, {self.lost_slots} lost",
+            f"  shard incidents    : {self.incidents}",
+            f"  worker respawns    : {self.respawns}",
+            f"  fallback slots     : {self.fallback_slots}",
+            f"  retired shards     : "
+            f"{list(self.retired_shards) if self.retired_shards else 'none'}",
+        ]
+        for name in sorted(self.counters):
+            lines.append(f"  {name:<34s} {self.counters[name]:g}")
+        lines.append(f"  survived           : {'yes' if self.survived else 'NO'}")
+        return "\n".join(lines)
+
+
+def run_shard_drill(
+    scenario,
+    num_shards: int = 2,
+    v: float = 1.0,
+    beta: float = 0.0,
+    kind: str = "kill",
+    shard: int = 0,
+    slot: Optional[int] = None,
+    seconds: float = 5.0,
+    policy: Optional[ShardPolicy] = None,
+    horizon: Optional[int] = None,
+    verify: Optional[str] = None,
+) -> ShardDrillReport:
+    """Inject one process fault into a sharded run; validate every slot.
+
+    Builds a :class:`~repro.distrib.controller.ShardController` over
+    *scenario*'s cluster, schedules one :data:`DRILL_KINDS` fault
+    against worker *shard* at *slot* (default: a third into the
+    horizon), and runs the simulation with ``validate=True`` so an
+    infeasible or missing action on any slot fails loudly.
+
+    *policy* defaults to a drill-appropriate
+    :class:`~repro.distrib.policy.ShardPolicy`: the timed faults (hang,
+    straggle, slow start) need a deadline to be detectable, so one is
+    installed at ``seconds / 2``; the kill drill keeps the blocking
+    deterministic gather (a dead worker's pipe closes immediately).
+    """
+    from repro.simulation.simulator import Simulator
+
+    if kind not in DRILL_KINDS:
+        raise ValueError(
+            f"unknown drill kind {kind!r}; choose from {sorted(DRILL_KINDS)}"
+        )
+    require_integer(shard, "shard", minimum=0)
+    require_positive(seconds, "seconds")
+    run_horizon = horizon if horizon is not None else scenario.horizon
+    require_integer(run_horizon, "horizon", minimum=1)
+    if slot is None:
+        slot = max(run_horizon // 3, 1)
+    require_integer(slot, "slot", minimum=0)
+
+    fault_kind = DRILL_KINDS[kind]
+    faults = ProcessFaultSchedule(
+        (
+            ProcessFaultEvent(
+                fault_kind,
+                shard=shard,
+                slot=slot,
+                seconds=seconds if fault_kind != "worker_kill" else 0.0,
+            ),
+        )
+    )
+    if policy is None:
+        if fault_kind == "worker_kill":
+            policy = ShardPolicy()
+        else:
+            # Timed faults are invisible without a deadline; half the
+            # fault length keeps the drill fast but unambiguous.
+            policy = ShardPolicy(deadline=seconds / 2.0, spawn_timeout=seconds / 2.0)
+
+    controller = ShardController(
+        scenario.cluster,
+        num_shards=num_shards,
+        v=v,
+        beta=beta,
+        policy=policy,
+        process_faults=faults,
+        verify=verify,
+    )
+    stats = stats_registry()
+    stats.reset("resilient.shard.")
+    try:
+        result = Simulator(scenario, controller, validate=True).run(run_horizon)
+    finally:
+        controller.shutdown()
+    counters = {
+        name: value
+        for name, value in stats.counters().items()
+        if name.startswith("resilient.shard.")
+    }
+    return ShardDrillReport(
+        kind=kind,
+        slots=len(result.metrics.energy_cost),
+        horizon=run_horizon,
+        incidents=controller.incident_count,
+        respawns=int(counters.get("resilient.shard.respawns", 0)),
+        fallback_slots=controller.fallback_slots,
+        retired_shards=controller.retired_shards,
+        counters=counters,
+        summary=result.summary,
+    )

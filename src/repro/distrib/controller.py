@@ -1,0 +1,707 @@
+"""The shard controller: GreFar with the slot solve scattered over workers.
+
+:class:`ShardController` *is a* :class:`~repro.core.grefar.GreFarScheduler`
+— routing, problem construction, action assembly and the entire serial
+slot body in :class:`~repro.simulation.simulator.Simulator` are
+inherited untouched.  Only ``_solve`` changes: the cluster's sites are
+partitioned by data center into contiguous shards, each slot is
+**scattered** (the full queue-weight and bound matrices, masked to zero
+outside the shard's rows, plus the prepared state arrays) to one
+:class:`~repro.distrib.worker.ShardWorker` subprocess per shard, and
+the per-shard rows are **gathered** and merged back into one ``(N, J)``
+service matrix.
+
+**Bit-identity (beta = 0).** The exact greedy backend solves each site
+row independently — row ``i`` touches only ``queue_weights[i]``,
+``h_upper[i]`` and site ``i``'s marginal-cost curve — so a worker
+solving the full-shape problem with foreign rows masked to zero
+produces its own rows bit-identical to the serial solve.  The merge is
+pure row assignment, so the sharded decision equals the serial one
+bit-for-bit (``verify="assert"`` checks every slot).
+
+**Bounded divergence (beta > 0).** The fairness term couples sites
+through per-account work, so shard-local solves optimize
+``D(h) = obj(h) + V*beta*defect(h)`` where
+``defect(h) = f(h) - sum_s f(mask_s(h))`` is the fairness
+superadditivity defect.  Since the merged ``h*`` minimizes ``D`` and
+the serial ``h^`` minimizes ``obj``::
+
+    0 <= obj(h*) - obj(h^) <= V * beta * (defect(h^) - defect(h*))
+
+— a per-slot computable bound, recorded (and asserted, up to solver
+tolerance) by the verify modes.  See ``docs/DISTRIBUTED.md``.
+
+**Supervision.** The gather runs under a
+:class:`~repro.distrib.policy.ShardPolicy` mirroring
+:class:`~repro.resilient.supervisor.SolverPolicy` one level up:
+heartbeats separate hung workers from stragglers, deadlines bound the
+slot, failures trigger bounded retry with exponential backoff and
+worker respawn (re-synced from per-shard ``ckpt-v1`` checkpoints), and
+a shard that exhausts its budgets degrades to a local fallback action
+while its sites flow through the scheduler's ``prepare_state``
+missing-signal path.  Every event lands as a
+:class:`~repro.distrib.policy.ShardIncident` and on the always-on
+stats registry under ``resilient.shard.*``.
+"""
+
+from __future__ import annotations
+
+import time
+from multiprocessing.connection import wait as _connection_wait
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro._validation import require_integer
+from repro.distrib.policy import (
+    ShardDivergenceError,
+    ShardIncident,
+    ShardPolicy,
+)
+from repro.distrib.worker import ShardWorker, WorkerConfig
+from repro.core.grefar import GreFarScheduler
+from repro.faults.process import ProcessFaultSchedule
+from repro.model.cluster import Cluster
+from repro.model.state import ClusterState
+from repro.obs.registry import Registry, metrics_registry, stats_registry
+from repro.optimize.slot_problem import SlotServiceProblem
+from repro.resilient.checkpoint import (
+    checkpoint_path,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.resilient.supervisor import SupervisedSolver
+
+__all__ = ["ShardController", "partition_sites"]
+
+_VERIFY_MODES = (None, "assert", "record")
+
+#: Objective-gap slack for verify mode: covers QP/LP solver tolerance on
+#: both sides of the superadditivity bound.
+_VERIFY_TOL = 1e-4
+
+
+def partition_sites(num_datacenters: int, num_shards: int) -> Tuple[Tuple[int, ...], ...]:
+    """Contiguous near-equal partition of site indices into shards."""
+    require_integer(num_datacenters, "num_datacenters", minimum=1)
+    require_integer(num_shards, "num_shards", minimum=1)
+    if num_shards > num_datacenters:
+        raise ValueError(
+            f"num_shards ({num_shards}) cannot exceed the number of "
+            f"data centers ({num_datacenters})"
+        )
+    chunks = np.array_split(np.arange(num_datacenters), num_shards)
+    return tuple(tuple(int(i) for i in chunk) for chunk in chunks)
+
+
+class ShardController(GreFarScheduler):
+    """GreFar whose per-slot service solve is scattered over shard workers.
+
+    Drop-in for :class:`~repro.core.grefar.GreFarScheduler` anywhere a
+    scheduler is accepted (``Simulator``, ``run_chaos_drill``, the
+    CLI).  Picklable: worker processes and pipes are dropped on pickle
+    and respawned lazily after unpickle, so the simulator's ``ckpt-v1``
+    checkpoint/resume works unchanged.
+
+    Parameters
+    ----------
+    cluster, v, beta, fairness, solver, physical, pricing:
+        Passed through to :class:`~repro.core.grefar.GreFarScheduler`.
+    num_shards:
+        Worker process count; sites are split contiguously by DC index.
+    policy:
+        A :class:`~repro.distrib.policy.ShardPolicy` (default: blocking
+        deterministic gather, one retry, two respawns, greedy fallback).
+    process_faults:
+        Optional :class:`~repro.faults.process.ProcessFaultSchedule`
+        applied inside the workers (chaos drills).
+    verify:
+        ``None`` (default), ``"record"`` or ``"assert"``: compare every
+        non-degraded slot against the serial solve — bit-identity for
+        beta = 0 on the greedy backend, the superadditivity bound
+        otherwise; ``"assert"`` raises
+        :class:`~repro.distrib.policy.ShardDivergenceError` on
+        violation, ``"record"`` only logs to :attr:`divergence`.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        num_shards: int = 2,
+        v: float = 1.0,
+        beta: float = 0.0,
+        fairness=None,
+        solver: str = "auto",
+        physical: bool = True,
+        pricing=None,
+        policy: Optional[ShardPolicy] = None,
+        process_faults: Optional[ProcessFaultSchedule] = None,
+        verify: Optional[str] = None,
+        max_incidents: int = 1000,
+    ) -> None:
+        super().__init__(
+            cluster,
+            v=v,
+            beta=beta,
+            fairness=fairness,
+            solver=solver,
+            physical=physical,
+            pricing=pricing,
+        )
+        self.shards = partition_sites(cluster.num_datacenters, num_shards)
+        self.num_shards = len(self.shards)
+        self.policy = policy if policy is not None else ShardPolicy()
+        self.process_faults = (
+            process_faults
+            if process_faults is not None
+            else ProcessFaultSchedule.empty()
+        )
+        if verify not in _VERIFY_MODES:
+            raise ValueError(
+                f"verify must be one of {_VERIFY_MODES}, got {verify!r}"
+            )
+        self.verify = verify
+        self.max_incidents = require_integer(max_incidents, "max_incidents", minimum=1)
+        self.incidents: List[ShardIncident] = []
+        #: Per-slot ``(slot, objective_gap, bound)`` records (verify modes).
+        self.divergence: List[Tuple[int, float, float]] = []
+        self.slots_completed = 0
+        self.fallback_slots = 0
+        # Degraded-fallback and verification solves run on dedicated
+        # supervisors so self.supervisor keeps meaning "primary solves".
+        self._fallback_solver = SupervisedSolver()
+        self._verify_solver = SupervisedSolver()
+        self._workers: List[Optional[ShardWorker]] = [None] * self.num_shards
+        self._respawns = [0] * self.num_shards
+        self._spawn_counts = [0] * self.num_shards
+        self._retired: Set[int] = set()
+        self._last_good: List[Optional[np.ndarray]] = [None] * self.num_shards
+        self._completed = [-1] * self.num_shards
+        self._slot_degraded = False
+        self.name = f"ShardGreFar(V={v:g}, beta={beta:g}, shards={self.num_shards})"
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        super().reset()
+        self.shutdown()
+        self.incidents.clear()
+        self.divergence.clear()
+        self.slots_completed = 0
+        self.fallback_slots = 0
+        self._respawns = [0] * self.num_shards
+        self._spawn_counts = [0] * self.num_shards
+        self._retired = set()
+        self._last_good = [None] * self.num_shards
+        self._completed = [-1] * self.num_shards
+        self._slot_degraded = False
+        self._fallback_solver.clear_incidents()
+        self._verify_solver.clear_incidents()
+
+    def shutdown(self) -> None:
+        """Stop every worker process (idempotent; controller stays usable)."""
+        for shard, worker in enumerate(self._workers):
+            if worker is not None:
+                worker.stop()
+                self._workers[shard] = None
+
+    def __enter__(self) -> "ShardController":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __del__(self) -> None:  # pragma: no cover - best-effort cleanup
+        try:
+            self.shutdown()
+        except Exception:  # noqa: BLE001 - interpreter shutdown
+            pass
+
+    # Pickling (simulator checkpoints): drop process/pipe handles; the
+    # restored controller respawns workers lazily on the next slot.
+    # Mirrors FlakyBackend.__getstate__ in repro.resilient.chaos.
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_workers"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._workers = [None] * self.num_shards
+
+    # ------------------------------------------------------------------
+    # Degraded mode: a retired shard's sites are treated as signal-lost,
+    # flowing through the base scheduler's prepare_state substitution
+    # (last-known-good, then fail-safe) exactly like a faulted feed.
+    # ------------------------------------------------------------------
+    def prepare_state(self, state: ClusterState) -> ClusterState:
+        if self._retired:
+            availability = np.array(state.availability, dtype=np.float64)
+            prices = np.array(state.prices, dtype=np.float64)
+            for shard in self._retired:
+                for i in self.shards[shard]:
+                    availability[i, :] = np.nan
+                    prices[i] = np.nan
+            state = ClusterState(availability, prices, missing_ok=True)
+        return super().prepare_state(state)
+
+    # ------------------------------------------------------------------
+    # The scattered solve
+    # ------------------------------------------------------------------
+    def _solve(self, problem: SlotServiceProblem, t: int) -> np.ndarray:
+        reg = metrics_registry()
+        with reg.span("distrib.slot"):
+            merged = self._scatter_gather(problem, t)
+        if not problem.is_feasible(merged, tol=1e-6):
+            # Defensive only: worker and fallback rows are individually
+            # clipped feasible and sites are shard-exclusive.
+            stats_registry().counter_add("resilient.shard.merge_clips")
+            merged = problem.clip_feasible(merged)
+        if self.verify is not None:
+            self._check_divergence(problem, t, merged)
+        self.slots_completed += 1
+        return merged
+
+    def _scatter_gather(self, problem: SlotServiceProblem, t: int) -> np.ndarray:
+        reg = metrics_registry()
+        self._slot_degraded = False
+        merged = np.zeros_like(problem.h_upper)
+        pending: Dict[int, int] = {}
+        deadlines: Dict[int, Optional[float]] = {}
+        heartbeats: Set[int] = set()
+        with reg.span("distrib.scatter"):
+            for shard in range(self.num_shards):
+                if shard in self._retired:
+                    self._apply_fallback(
+                        merged, shard, problem, t, attempt=0,
+                        detail="shard retired (respawn budget exhausted)",
+                    )
+                    continue
+                self._begin_attempt(shard, t, 1, problem, merged, pending, deadlines)
+        with reg.span("distrib.gather"):
+            while pending:
+                self._gather_step(
+                    problem, t, merged, pending, deadlines, heartbeats
+                )
+        return merged
+
+    def _begin_attempt(
+        self,
+        shard: int,
+        t: int,
+        attempt: int,
+        problem: SlotServiceProblem,
+        merged: np.ndarray,
+        pending: Dict[int, int],
+        deadlines: Dict[int, Optional[float]],
+    ) -> None:
+        """Dispatch one slot attempt to *shard*, degrading on failure."""
+        worker = self._ensure_worker(shard, t)
+        if worker is None:
+            self._apply_fallback(
+                merged, shard, problem, t, attempt,
+                detail="no worker available",
+            )
+            return
+        weights, upper = self._masked(problem, shard)
+        sent = worker.send(
+            (
+                "slot",
+                t,
+                attempt,
+                weights,
+                upper,
+                np.asarray(problem.state.availability),
+                np.asarray(problem.state.prices),
+            )
+        )
+        if not sent:
+            self._fail(
+                shard, t, attempt, "crash", "worker pipe closed at dispatch",
+                problem, merged, pending, deadlines, set(),
+            )
+            return
+        pending[shard] = attempt
+        deadlines[shard] = (
+            Registry.clock() + self.policy.deadline
+            if self.policy.deadline is not None
+            else None
+        )
+
+    def _gather_step(
+        self,
+        problem: SlotServiceProblem,
+        t: int,
+        merged: np.ndarray,
+        pending: Dict[int, int],
+        deadlines: Dict[int, Optional[float]],
+        heartbeats: Set[int],
+    ) -> None:
+        """One wait-dispatch round of the gather supervision loop."""
+        conn_map = {}
+        for shard in list(pending):
+            worker = self._workers[shard]
+            if worker is None:
+                self._fail(
+                    shard, t, pending[shard], "crash", "worker handle missing",
+                    problem, merged, pending, deadlines, heartbeats,
+                )
+                continue
+            conn_map[worker.conn] = shard
+        if not conn_map:
+            return
+        timeout = None
+        active = [d for s, d in deadlines.items() if s in pending and d is not None]
+        if active:
+            timeout = max(0.0, min(active) - Registry.clock())
+        ready = _connection_wait(list(conn_map), timeout)
+        if not ready:
+            now = Registry.clock()
+            for shard in list(pending):
+                limit = deadlines.get(shard)
+                if limit is not None and now >= limit:
+                    reason = "straggler" if shard in heartbeats else "hang"
+                    self._fail(
+                        shard, t, pending[shard], reason,
+                        f"missed {self.policy.deadline:g}s slot deadline",
+                        problem, merged, pending, deadlines, heartbeats,
+                    )
+            return
+        for conn in ready:
+            shard = conn_map[conn]
+            if shard not in pending:
+                continue
+            attempt = pending[shard]
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                self._fail(
+                    shard, t, attempt, "crash", "worker pipe closed mid-slot",
+                    problem, merged, pending, deadlines, heartbeats,
+                )
+                continue
+            kind = message[0] if isinstance(message, tuple) and message else None
+            if kind == "heartbeat" and message[1:] == (t, attempt):
+                heartbeats.add(shard)
+            elif kind == "result":
+                _, slot_echo, attempt_echo, rows, meta = message
+                if slot_echo != t or attempt_echo != attempt:
+                    continue  # stale echo from a superseded attempt
+                self._accept(merged, shard, rows, t, meta)
+                pending.pop(shard, None)
+                deadlines.pop(shard, None)
+            elif kind == "error":
+                _, slot_echo, attempt_echo, text = message
+                if slot_echo != t or attempt_echo != attempt:
+                    continue
+                self._fail(
+                    shard, t, attempt, "error", text,
+                    problem, merged, pending, deadlines, heartbeats,
+                )
+
+    # ------------------------------------------------------------------
+    # Failure handling: classify, retry with backoff, degrade
+    # ------------------------------------------------------------------
+    def _fail(
+        self,
+        shard: int,
+        t: int,
+        attempt: int,
+        reason: str,
+        detail: str,
+        problem: SlotServiceProblem,
+        merged: np.ndarray,
+        pending: Dict[int, int],
+        deadlines: Dict[int, Optional[float]],
+        heartbeats: Set[int],
+    ) -> None:
+        pending.pop(shard, None)
+        deadlines.pop(shard, None)
+        heartbeats.discard(shard)
+        self._record_incident(
+            ShardIncident(slot=t, shard=shard, attempt=attempt,
+                          reason=reason, detail=detail)
+        )
+        self._retire_worker(shard)
+        if attempt <= self.policy.retries:
+            time.sleep(self.policy.backoff_seconds(attempt))
+            self._begin_attempt(
+                shard, t, attempt + 1, problem, merged, pending, deadlines
+            )
+            return
+        self._apply_fallback(
+            merged, shard, problem, t, attempt, detail=f"after {reason}"
+        )
+
+    def _retire_worker(self, shard: int) -> None:
+        worker = self._workers[shard]
+        if worker is not None:
+            worker.terminate()
+            self._workers[shard] = None
+
+    def _retire_shard(self, shard: int, t: int) -> None:
+        if shard in self._retired:
+            return
+        self._retired.add(shard)
+        stats_registry().counter_add("resilient.shard.retired")
+        self._record_incident(
+            ShardIncident(
+                slot=t, shard=shard, attempt=0, reason="fallback",
+                detail=(
+                    f"respawn budget ({self.policy.max_respawns}) exhausted; "
+                    "shard retired to degraded mode"
+                ),
+            )
+        )
+
+    def _apply_fallback(
+        self,
+        merged: np.ndarray,
+        shard: int,
+        problem: SlotServiceProblem,
+        t: int,
+        attempt: int,
+        detail: str,
+    ) -> None:
+        mode = self.policy.fallback
+        rows = self._fallback_rows(shard, problem, mode)
+        merged[list(self.shards[shard])] = rows
+        self._slot_degraded = True
+        self.fallback_slots += 1
+        stats_registry().counter_add("resilient.shard.fallback_slots")
+        self._record_incident(
+            ShardIncident(
+                slot=t, shard=shard, attempt=attempt, reason="fallback",
+                detail=f"{mode} rows {detail}",
+            )
+        )
+
+    def _fallback_rows(
+        self, shard: int, problem: SlotServiceProblem, mode: str
+    ) -> np.ndarray:
+        idx = list(self.shards[shard])
+        if mode == "zero":
+            return np.zeros((len(idx), problem.h_upper.shape[1]))
+        if mode == "hold":
+            last = self._last_good[shard]
+            if last is None:
+                return np.zeros((len(idx), problem.h_upper.shape[1]))
+            held = np.zeros_like(problem.h_upper)
+            held[idx] = np.minimum(last, problem.h_upper[idx])
+            return problem.clip_feasible(held)[idx]
+        # "greedy": solve the shard's masked problem locally with the
+        # fairness pull dropped — the beta = 0 closed form is feasible
+        # for the beta > 0 problem (same constraint set).
+        weights, upper = self._masked(problem, shard)
+        local = SlotServiceProblem(
+            cluster=self.cluster,
+            state=problem.state,
+            queue_weights=weights,
+            h_upper=upper,
+            v=self.v,
+            beta=0.0,
+            fairness=self.fairness,
+            pricing=self.pricing,
+        )
+        outcome = self._fallback_solver.solve(local, primary="greedy", slot=None)
+        return outcome.h[idx]
+
+    # ------------------------------------------------------------------
+    # Worker management: spawn, respawn-with-resync, budgets
+    # ------------------------------------------------------------------
+    def _ensure_worker(self, shard: int, t: int) -> Optional[ShardWorker]:
+        worker = self._workers[shard]
+        if worker is not None and worker.alive:
+            return worker
+        if worker is not None:
+            self._retire_worker(shard)
+        while True:
+            first = self._spawn_counts[shard] == 0
+            if not first:
+                if self._respawns[shard] >= self.policy.max_respawns:
+                    self._retire_shard(shard, t)
+                    return None
+                self._respawns[shard] += 1
+                stats_registry().counter_add("resilient.shard.respawns")
+            if self._spawn(shard, t, respawn=not first):
+                return self._workers[shard]
+            if first and self.policy.max_respawns == 0:
+                self._retire_shard(shard, t)
+                return None
+
+    def _spawn(self, shard: int, t: int, respawn: bool) -> bool:
+        self._spawn_counts[shard] += 1
+        slow = (
+            self.process_faults.slow_start_seconds(shard)
+            if self._spawn_counts[shard] == 1
+            else 0.0
+        )
+        resume = self._load_shard_checkpoint(shard)
+        if resume is not None and self._last_good[shard] is None:
+            last = resume.get("last_good")
+            if last is not None:
+                self._last_good[shard] = np.asarray(last, dtype=np.float64)
+        config = WorkerConfig(
+            shard_id=shard,
+            sites=self.shards[shard],
+            cluster=self.cluster,
+            v=self.v,
+            beta=self.beta,
+            fairness=self.fairness,
+            pricing=self.pricing,
+            primary=self.select_backend(),
+            faults=self.process_faults.for_shard(shard),
+            slow_start=slow,
+            resume=resume,
+        )
+        worker = ShardWorker(config)
+        completed = worker.wait_ready(self.policy.spawn_timeout)
+        if completed is None:
+            worker.terminate()
+            self._workers[shard] = None
+            self._record_incident(
+                ShardIncident(
+                    slot=t, shard=shard, attempt=0, reason="slow-start",
+                    detail=(
+                        "worker not ready within "
+                        f"{self.policy.spawn_timeout:g}s"
+                        if self.policy.spawn_timeout is not None
+                        else "worker died before ready"
+                    ),
+                )
+            )
+            return False
+        self._workers[shard] = worker
+        stats_registry().counter_add("resilient.shard.spawns")
+        if respawn:
+            detail = f"spawn #{self._spawn_counts[shard]}"
+            if resume is not None:
+                detail += f", re-synced from checkpoint slot {completed}"
+            self._record_incident(
+                ShardIncident(slot=t, shard=shard, attempt=0,
+                              reason="respawn", detail=detail)
+            )
+        return True
+
+    # ------------------------------------------------------------------
+    # Per-shard ckpt-v1 checkpoints
+    # ------------------------------------------------------------------
+    def _shard_key(self, shard: int) -> str:
+        return f"{self.policy.checkpoint_key}-s{shard}"
+
+    def _shard_checkpoint_path(self, shard: int) -> Path:
+        return checkpoint_path(
+            self._shard_key(shard), Path(self.policy.checkpoint_dir)
+        )
+
+    def _load_shard_checkpoint(self, shard: int) -> Optional[dict]:
+        if self.policy.checkpoint_every is None:
+            return None
+        return load_checkpoint(
+            self._shard_checkpoint_path(shard), self._shard_key(shard)
+        )
+
+    def _save_shard_checkpoint(self, shard: int, t: int, rows: np.ndarray) -> None:
+        every = self.policy.checkpoint_every
+        if every is None or (t + 1) % every != 0:
+            return
+        save_checkpoint(
+            self._shard_checkpoint_path(shard),
+            self._shard_key(shard),
+            {
+                "slot": int(t),
+                "last_good": np.asarray(rows),
+                "respawns": int(self._respawns[shard]),
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+    def _masked(
+        self, problem: SlotServiceProblem, shard: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Full-shape matrices with foreign rows zeroed (shard's view)."""
+        idx = list(self.shards[shard])
+        weights = np.zeros_like(problem.queue_weights)
+        upper = np.zeros_like(problem.h_upper)
+        weights[idx] = problem.queue_weights[idx]
+        upper[idx] = problem.h_upper[idx]
+        return weights, upper
+
+    def _accept(
+        self, merged: np.ndarray, shard: int, rows, t: int, meta: dict
+    ) -> None:
+        rows = np.asarray(rows, dtype=np.float64)
+        merged[list(self.shards[shard])] = rows
+        self._last_good[shard] = rows.copy()
+        self._completed[shard] = t
+        if meta.get("degraded"):
+            stats_registry().counter_add("resilient.shard.worker_degraded")
+        self._save_shard_checkpoint(shard, t, rows)
+
+    def _record_incident(self, incident: ShardIncident) -> None:
+        self.incidents.append(incident)
+        if len(self.incidents) > self.max_incidents:
+            del self.incidents[: -self.max_incidents]
+        stats = stats_registry()
+        stats.counter_add("resilient.shard.incidents")
+        stats.counter_add(f"resilient.shard.incident.{incident.reason}")
+        metrics = metrics_registry()
+        metrics.counter_add("resilient.shard.incidents")
+        metrics.counter_add(f"resilient.shard.incident.{incident.reason}")
+
+    @property
+    def incident_count(self) -> int:
+        return len(self.incidents)
+
+    @property
+    def retired_shards(self) -> Tuple[int, ...]:
+        """Shards permanently degraded (respawn budget exhausted)."""
+        return tuple(sorted(self._retired))
+
+    # ------------------------------------------------------------------
+    # Verification against the serial reference
+    # ------------------------------------------------------------------
+    def fairness_defect(self, problem: SlotServiceProblem, h: np.ndarray) -> float:
+        """``f(h) - sum_s f(mask_s(h))``: what sharding loses of ``f``."""
+        parts = 0.0
+        for sites in self.shards:
+            masked = np.zeros_like(h)
+            idx = list(sites)
+            masked[idx] = h[idx]
+            parts += problem.fairness_score(masked)
+        return float(problem.fairness_score(h) - parts)
+
+    def _check_divergence(
+        self, problem: SlotServiceProblem, t: int, merged: np.ndarray
+    ) -> None:
+        serial = self._verify_solver.solve(
+            problem, primary=self.select_backend(), slot=t
+        ).h
+        if not problem.has_fairness and self.select_backend() == "greedy":
+            identical = bool(np.array_equal(merged, serial))
+            delta = (
+                0.0 if identical else float(np.max(np.abs(merged - serial)))
+            )
+            self.divergence.append((t, delta, 0.0))
+            if not identical and self.verify == "assert" and not self._slot_degraded:
+                raise ShardDivergenceError(
+                    f"slot {t}: beta = 0 sharded solve differs from serial "
+                    f"(max |delta| = {delta:g})"
+                )
+            return
+        gap = float(problem.objective(merged) - problem.objective(serial))
+        bound = self.v * self.beta * (
+            self.fairness_defect(problem, serial)
+            - self.fairness_defect(problem, merged)
+        )
+        self.divergence.append((t, gap, bound))
+        if self.verify == "assert" and not self._slot_degraded:
+            if gap < -_VERIFY_TOL or gap > bound + _VERIFY_TOL:
+                raise ShardDivergenceError(
+                    f"slot {t}: sharded objective gap {gap:g} outside "
+                    f"[0, {bound:g}] (+/- {_VERIFY_TOL:g} solver tolerance)"
+                )

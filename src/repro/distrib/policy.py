@@ -1,0 +1,169 @@
+"""Supervision knobs and incident records for the sharded slot loop.
+
+:class:`ShardPolicy` is to :class:`~repro.distrib.controller.ShardController`
+what :class:`~repro.resilient.supervisor.SolverPolicy` is to
+:class:`~repro.resilient.supervisor.SupervisedSolver`: a frozen bundle
+of first-class deadline / retry / fallback fields, validated at
+construction, with deterministic defaults.
+
+:class:`ShardIncident` mirrors
+:class:`~repro.resilient.supervisor.SolverIncident` one layer up — a
+failed *worker* interaction instead of a failed *backend* attempt.
+Incidents are retained on the controller and counted on the always-on
+stats registry under ``resilient.shard.*``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro._validation import require_at_least, require_integer, require_positive
+from repro.resilient.checkpoint import DEFAULT_CHECKPOINT_DIR
+
+__all__ = [
+    "FALLBACK_MODES",
+    "SHARD_FAILURE_REASONS",
+    "ShardDivergenceError",
+    "ShardIncident",
+    "ShardPolicy",
+]
+
+#: Degraded-mode action for a shard whose worker could not serve a slot.
+#: ``"greedy"`` — the controller solves the shard's masked slot problem
+#: locally with the fairness pull dropped (beta = 0 closed form);
+#: ``"hold"`` — repeat the shard's last good rows, clipped feasible;
+#: ``"zero"`` — serve nothing at the shard's sites this slot.
+FALLBACK_MODES = ("greedy", "hold", "zero")
+
+#: Failure categories a gather can record (``ShardIncident.reason``).
+#: ``crash`` — the worker process died / its pipe closed mid-slot;
+#: ``hang`` — no heartbeat before the deadline (worker went silent);
+#: ``straggler`` — heartbeat seen but the result missed the deadline;
+#: ``error`` — the worker replied with a structured error message;
+#: ``slow-start`` — a (re)spawned worker missed the spawn deadline.
+#: ``respawn`` and ``fallback`` incidents record the supervision
+#: *actions* taken in response.
+SHARD_FAILURE_REASONS = (
+    "crash",
+    "hang",
+    "straggler",
+    "error",
+    "slow-start",
+    "respawn",
+    "fallback",
+)
+
+
+class ShardDivergenceError(AssertionError):
+    """A sharded slot decision diverged from the serial reference.
+
+    Raised only in ``verify="assert"`` mode: for ``beta = 0`` any bit
+    difference from the serial solve raises; for ``beta > 0`` the
+    per-slot objective gap must stay within the computable
+    fairness-superadditivity bound (see ``docs/DISTRIBUTED.md``).
+    """
+
+
+@dataclass(frozen=True)
+class ShardPolicy:
+    """Supervision knobs for the scatter-gather shard loop.
+
+    Parameters
+    ----------
+    deadline:
+        Per-slot wall-clock budget in seconds for the gather.  A shard
+        that has not delivered its result when the budget runs out is
+        classified (hang vs straggler, by heartbeat), terminated, and
+        retried or degraded.  **Default None**: the gather blocks until
+        every shard answers or crashes — like
+        :class:`~repro.resilient.supervisor.SolverPolicy.timeout`, any
+        deadline makes decisions load-dependent and is opt-in.  Crash
+        detection does *not* need a deadline (a dead worker's pipe
+        closes immediately).
+    spawn_timeout:
+        Wall-clock budget for a (re)spawned worker to announce
+        readiness; ``None`` waits indefinitely.  Exists to surface
+        ``slow_start`` faults.
+    retries:
+        Re-scatter attempts per shard per slot after a failure (the
+        worker is respawned first).  Workers are deterministic, so
+        retries exist for *process*-level faults, which do clear on
+        respawn.
+    backoff_base / backoff_factor:
+        Exponential backoff slept before retry *k* (1-based):
+        ``backoff_base * backoff_factor**(k-1)`` seconds.
+    max_respawns:
+        Respawn budget per shard per run.  A shard that exhausts it is
+        marked permanently unhealthy: its sites are masked as missing
+        through the scheduler's ``prepare_state`` degraded path and its
+        rows come from *fallback* for the rest of the run.
+    fallback:
+        One of :data:`FALLBACK_MODES`.
+    checkpoint_every:
+        Write a per-shard ``ckpt-v1`` checkpoint every this many
+        completed slots (``None``: per-shard checkpoints off).  A
+        respawned worker is re-synced from its shard's checkpoint.
+    checkpoint_dir / checkpoint_key:
+        Where per-shard snapshots live and their key prefix; shard
+        ``s`` uses key ``"<checkpoint_key>-s<s>"``.
+    """
+
+    deadline: Optional[float] = None
+    spawn_timeout: Optional[float] = None
+    retries: int = 1
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    max_respawns: int = 2
+    fallback: str = "greedy"
+    checkpoint_every: Optional[int] = None
+    checkpoint_dir: str = str(DEFAULT_CHECKPOINT_DIR)
+    checkpoint_key: str = "shard"
+
+    def __post_init__(self) -> None:
+        if self.deadline is not None:
+            require_positive(self.deadline, "deadline")
+        if self.spawn_timeout is not None:
+            require_positive(self.spawn_timeout, "spawn_timeout")
+        require_integer(self.retries, "retries", minimum=0)
+        require_positive(self.backoff_base, "backoff_base")
+        require_at_least(self.backoff_factor, 1.0, "backoff_factor")
+        require_integer(self.max_respawns, "max_respawns", minimum=0)
+        if self.fallback not in FALLBACK_MODES:
+            raise ValueError(
+                f"fallback must be one of {FALLBACK_MODES}, got {self.fallback!r}"
+            )
+        if self.checkpoint_every is not None:
+            require_integer(self.checkpoint_every, "checkpoint_every", minimum=1)
+        if not self.checkpoint_key:
+            raise ValueError("checkpoint_key must be non-empty")
+
+    def backoff_seconds(self, retry: int) -> float:
+        """Backoff before 1-based retry *retry* of a slot."""
+        require_integer(retry, "retry", minimum=1)
+        return float(self.backoff_base * self.backoff_factor ** (retry - 1))
+
+
+@dataclass(frozen=True)
+class ShardIncident:
+    """One supervision event on the shard layer.
+
+    ``reason`` is one of :data:`SHARD_FAILURE_REASONS`; ``detail``
+    carries the specifics (exception text, deadline numbers, resync
+    slot).  The layout intentionally mirrors
+    :class:`~repro.resilient.supervisor.SolverIncident` so both logs
+    read the same way in drill reports.
+    """
+
+    slot: Optional[int]
+    shard: int
+    attempt: int
+    reason: str
+    detail: str = ""
+
+    def render(self) -> str:
+        where = f"slot {self.slot}" if self.slot is not None else "slot ?"
+        text = f"[{where}] shard {self.shard} attempt {self.attempt}: {self.reason}"
+        if self.detail:
+            text += f" ({self.detail})"
+        return text

@@ -1,0 +1,217 @@
+"""The shard worker: a subprocess solving masked per-shard slot problems.
+
+One :class:`ShardWorker` owns one OS process plus the duplex pipe to
+it.  The process body (:func:`_shard_worker_main`, module-level so it
+pickles under any start method) is a plain message loop:
+
+* ``("slot", t, attempt, weights, upper, availability, prices)`` —
+  build the masked :class:`~repro.optimize.slot_problem.SlotServiceProblem`
+  for this shard, solve it under a local
+  :class:`~repro.resilient.supervisor.SupervisedSolver`, and reply with
+  the shard's rows.  A heartbeat is sent *before* the solve, so the
+  controller can tell a hung worker (no heartbeat) from a straggling
+  one (heartbeat but no result).
+* ``("stop",)`` — exit cleanly.
+
+Workers are deliberately stateless across slots — every slot message
+carries everything the solve needs — so a respawned worker is correct
+by construction and re-sync only has to restore bookkeeping (the
+completed-slot watermark from the shard's ``ckpt-v1`` checkpoint).
+
+Process faults from :class:`~repro.faults.process.ProcessFaultSchedule`
+are applied here, deterministically, keyed on ``(shard, slot)`` and
+only on the first delivery attempt — a respawned worker handed the same
+slot again completes it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+import numpy as np
+
+from repro.faults.process import ProcessFaultSchedule
+
+__all__ = ["ShardWorker", "WorkerConfig"]
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Everything a shard worker process needs, picklable.
+
+    ``sites`` are the global site indices this shard owns; the worker
+    still receives full ``(N, J)`` matrices (masked to zero outside its
+    rows) because supply curves, fairness normalization and feasibility
+    live in global coordinates — only the *reply* is shard-local.
+    """
+
+    shard_id: int
+    sites: Tuple[int, ...]
+    cluster: Any
+    v: float
+    beta: float
+    fairness: Any
+    pricing: Any
+    primary: str
+    faults: ProcessFaultSchedule
+    slow_start: float = 0.0
+    resume: Optional[dict] = None
+
+
+def _shard_worker_main(conn, config: WorkerConfig) -> None:
+    """Process body: announce readiness, then serve slot messages."""
+    # Imports happen in the child so a spawn start method pays them
+    # here, not at module pickle time.
+    from repro.model.state import ClusterState
+    from repro.optimize.slot_problem import SlotServiceProblem
+    from repro.resilient.supervisor import SupervisedSolver
+
+    completed = -1
+    if config.resume is not None:
+        completed = int(config.resume.get("slot", completed))
+    if config.slow_start > 0.0:
+        time.sleep(config.slow_start)
+    supervisor = SupervisedSolver()
+    sites = list(config.sites)
+    try:
+        conn.send(("ready", config.shard_id, completed))
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:
+                break
+            if not isinstance(message, tuple) or not message:
+                continue
+            if message[0] == "stop":
+                break
+            if message[0] != "slot":
+                continue
+            _, t, attempt, weights, upper, availability, prices = message
+            fault = config.faults.at(config.shard_id, t) if attempt == 1 else None
+            if fault is not None and fault.kind == "worker_kill":
+                # Hard crash drill: die without flushing anything.
+                os.kill(os.getpid(), signal.SIGKILL)
+            if fault is not None and fault.kind == "worker_hang":
+                time.sleep(fault.seconds)
+            conn.send(("heartbeat", t, attempt))
+            if fault is not None and fault.kind == "worker_straggle":
+                time.sleep(fault.seconds)
+            try:
+                problem = SlotServiceProblem(
+                    cluster=config.cluster,
+                    state=ClusterState(availability, prices),
+                    queue_weights=weights,
+                    h_upper=upper,
+                    v=config.v,
+                    beta=config.beta,
+                    fairness=config.fairness,
+                    pricing=config.pricing,
+                )
+                outcome = supervisor.solve(problem, primary=config.primary, slot=t)
+                rows = np.ascontiguousarray(outcome.h[sites])
+                completed = max(completed, int(t))
+                meta = {
+                    "backend": outcome.backend,
+                    "degraded": outcome.degraded,
+                    "incidents": len(outcome.incidents),
+                    "completed": completed,
+                }
+                conn.send(("result", t, attempt, rows, meta))
+            except (KeyboardInterrupt, SystemExit):  # pragma: no cover
+                raise
+            except Exception as exc:  # noqa: BLE001 - supervision boundary
+                conn.send(("error", t, attempt, f"{type(exc).__name__}: {exc}"))
+    except (BrokenPipeError, OSError):  # pragma: no cover - controller gone
+        pass
+    finally:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+class ShardWorker:
+    """Controller-side handle: the process, its pipe, and safe teardown."""
+
+    def __init__(self, config: WorkerConfig, context=None) -> None:
+        ctx = context if context is not None else multiprocessing.get_context()
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self.shard_id = config.shard_id
+        self.conn = parent_conn
+        self.process = ctx.Process(
+            target=_shard_worker_main,
+            args=(child_conn, config),
+            name=f"repro-shard-{config.shard_id}",
+            daemon=True,
+        )
+        self.process.start()
+        # Close our copy of the child end *immediately*: under a fork
+        # start method, a child-end descriptor left open in the parent
+        # (and inherited by every later sibling fork) would mask the
+        # pipe EOF that crash detection relies on.
+        child_conn.close()
+
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def send(self, message: tuple) -> bool:
+        """Send *message*; False (never raises) if the pipe is gone."""
+        try:
+            self.conn.send(message)
+            return True
+        except (BrokenPipeError, OSError):
+            return False
+
+    def wait_ready(self, timeout: Optional[float]) -> Optional[int]:
+        """Wait for the ``("ready", shard, completed)`` banner.
+
+        Returns the worker's completed-slot watermark, or ``None`` when
+        the worker died first or missed *timeout* (slow start).
+        """
+        try:
+            if timeout is not None and not self.conn.poll(timeout):
+                return None
+            message = self.conn.recv()
+        except (EOFError, OSError):
+            return None
+        if not (isinstance(message, tuple) and message and message[0] == "ready"):
+            return None
+        return int(message[2])
+
+    # ------------------------------------------------------------------
+    def terminate(self, grace: float = 0.5) -> None:
+        """Forcibly stop the process (idempotent, never raises)."""
+        try:
+            self.process.terminate()
+            self.process.join(grace)
+            if self.process.is_alive():
+                self.process.kill()
+                self.process.join(grace)
+        except (OSError, ValueError, AssertionError):  # pragma: no cover
+            pass
+        self._close()
+
+    def stop(self, grace: float = 1.0) -> None:
+        """Graceful shutdown: ``stop`` message, join, escalate if needed."""
+        self.send(("stop",))
+        try:
+            self.process.join(grace)
+        except (OSError, ValueError, AssertionError):  # pragma: no cover
+            pass
+        if self.process.is_alive():
+            self.terminate()
+        else:
+            self._close()
+
+    def _close(self) -> None:
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover
+            pass

@@ -1,0 +1,151 @@
+"""Process-level fault events for the sharded execution layer.
+
+:mod:`repro.faults.events` models faults of the *simulated system* —
+data centers going dark, price feeds going stale.  This module models
+faults of the *simulator itself*: a shard worker process that dies,
+hangs, straggles or starts slowly.  The events are pure data (no
+process machinery lives here — spawning is the business of
+:mod:`repro.runner` and :mod:`repro.distrib`, enforced by staticcheck
+rule GF013); the :mod:`repro.distrib` worker applies them
+deterministically, keyed on ``(shard, slot)``, so a drill that kills a
+worker mid-run is exactly reproducible.
+
+``worker_kill``
+    The worker SIGKILLs itself after receiving the slot message and
+    before replying — the hard-crash drill.  The controller sees the
+    pipe close mid-gather.
+``worker_hang``
+    The worker sleeps *before* sending its heartbeat, so the controller
+    sees a shard that went silent: no heartbeat, no result.
+``worker_straggle``
+    The worker heartbeats on time but sleeps before the solve, so the
+    controller sees a live-but-late shard — the straggler signature.
+``slow_start``
+    The worker sleeps before announcing readiness on the shard's
+    *first* spawn (exercises spawn deadlines; respawns come up clean so
+    the supervision loop converges).
+
+Faults fire only on the first delivery attempt of their slot: a shard
+that is respawned and handed the same slot again completes it, so every
+drill converges instead of crash-looping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro._validation import require_integer, require_positive
+
+__all__ = ["PROCESS_FAULT_KINDS", "ProcessFaultEvent", "ProcessFaultSchedule"]
+
+#: The process-fault kinds understood by the shard worker.
+PROCESS_FAULT_KINDS = ("worker_kill", "worker_hang", "worker_straggle", "slow_start")
+
+#: Kinds that need a positive ``seconds`` (a zero-second hang is a no-op).
+_TIMED_KINDS = ("worker_hang", "worker_straggle", "slow_start")
+
+
+@dataclass(frozen=True)
+class ProcessFaultEvent:
+    """One process fault: *kind* hits shard *shard* at slot *slot*.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`PROCESS_FAULT_KINDS`.
+    shard:
+        Index of the affected shard worker.
+    slot:
+        Slot whose first delivery attempt triggers the fault (ignored
+        by ``slow_start``, which fires at the shard's first spawn).
+    seconds:
+        Sleep length for the timed kinds; ignored by ``worker_kill``.
+    """
+
+    kind: str
+    shard: int
+    slot: int = 0
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in PROCESS_FAULT_KINDS:
+            raise ValueError(
+                f"kind must be one of {PROCESS_FAULT_KINDS}, got {self.kind!r}"
+            )
+        require_integer(self.shard, "shard", minimum=0)
+        require_integer(self.slot, "slot", minimum=0)
+        if self.kind in _TIMED_KINDS:
+            require_positive(self.seconds, "seconds")
+
+
+@dataclass(frozen=True)
+class ProcessFaultSchedule:
+    """An immutable collection of :class:`ProcessFaultEvent`.
+
+    An empty schedule is a strict no-op: a shard worker built from it
+    behaves bit-identically to one run without any fault plumbing.
+    """
+
+    events: tuple = field(default=())
+
+    def __post_init__(self) -> None:
+        for event in self.events:
+            if not isinstance(event, ProcessFaultEvent):
+                raise TypeError(
+                    f"events must be ProcessFaultEvent instances, got {event!r}"
+                )
+        ordered = tuple(
+            sorted(self.events, key=lambda e: (e.slot, e.shard, e.kind))
+        )
+        object.__setattr__(self, "events", ordered)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[ProcessFaultEvent]:
+        return iter(self.events)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the schedule contains no events (strict no-op)."""
+        return not self.events
+
+    def for_shard(self, shard: int) -> "ProcessFaultSchedule":
+        """The sub-schedule targeting *shard* (what its worker receives)."""
+        return ProcessFaultSchedule(
+            tuple(e for e in self.events if e.shard == shard)
+        )
+
+    def at(self, shard: int, slot: int) -> Optional[ProcessFaultEvent]:
+        """The in-slot fault (kill/hang/straggle) for ``(shard, slot)``."""
+        for event in self.events:
+            if (
+                event.shard == shard
+                and event.slot == slot
+                and event.kind != "slow_start"
+            ):
+                return event
+        return None
+
+    def slow_start_seconds(self, shard: int) -> float:
+        """Total spawn delay configured for *shard* (0.0 when none)."""
+        return float(
+            sum(
+                e.seconds
+                for e in self.events
+                if e.shard == shard and e.kind == "slow_start"
+            )
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "ProcessFaultSchedule":
+        """The no-op schedule."""
+        return cls(())
+
+    @classmethod
+    def single_kill(cls, shard: int, slot: int) -> "ProcessFaultSchedule":
+        """SIGKILL one shard worker mid-slot — the canonical drill."""
+        return cls((ProcessFaultEvent("worker_kill", shard=shard, slot=slot),))

@@ -5,8 +5,8 @@ crashed LP on slot 4711 of a week-long heavy-traffic run must not lose
 the horizon.  :class:`SupervisedSolver` wraps the
 :mod:`repro.optimize` backends with that guarantee:
 
-1. run the configured backend (optionally under a retry budget and a
-   soft wall-clock deadline),
+1. run the configured backend (optionally under a retry budget and an
+   enforced wall-clock budget — see :class:`SolverPolicy.timeout`),
 2. validate the returned action — finite, feasible after
    :meth:`~repro.optimize.slot_problem.SlotServiceProblem.clip_feasible`,
    and clip-idempotent,
@@ -23,9 +23,10 @@ unsupervised call sites used to produce — so supervision changes no
 decision on healthy inputs (asserted by the golden-trace tests).
 
 **Determinism.** The default policy has ``timeout=None``: a wall-clock
-deadline makes decisions depend on machine load, which would break the
+budget makes decisions depend on machine load, which would break the
 runner's bit-identity and golden-trace guarantees.  Opt into a timeout
-only for interactive or exploratory runs.
+only for interactive or exploratory runs; the ``timeout=None`` path
+runs no watchdog thread and is byte-identical to the unbudgeted solve.
 
 Incidents are counted on the always-on stats registry
 (:func:`repro.obs.registry.stats_registry`) under ``resilient.*`` and
@@ -34,6 +35,7 @@ mirrored to the hot-path metrics registry when telemetry is on.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -183,13 +185,17 @@ class SolverPolicy:
         identically on retry; the budget exists for stochastic or
         external backends.
     timeout:
-        Optional *soft* wall-clock deadline in seconds across the whole
-        chain.  A running backend is never interrupted; the deadline is
-        checked between attempts, and once exceeded the supervisor jumps
-        straight to the terminal chain entry.  **Default None**: any
-        timeout makes decisions load-dependent, which breaks the
-        bit-identity guarantees (golden trace, serial/parallel, resume)
-        — opt in only where determinism does not matter.
+        Optional *enforced* wall-clock budget in seconds across the
+        whole chain.  Non-terminal attempts run on a daemon watchdog
+        thread and are abandoned once the remaining budget is spent —
+        a runaway backend cannot stall the slot — recording a
+        ``"timeout"`` incident and degrading down the chain; the
+        deadline is also checked between attempts.  The terminal entry
+        always runs unthreaded so the chain is guaranteed to produce a
+        result.  **Default None** (no thread, no budget): any timeout
+        makes decisions load-dependent, which breaks the bit-identity
+        guarantees (golden trace, serial/parallel, resume) — opt in
+        only where determinism does not matter.
     feasibility_tol:
         Tolerance handed to
         :meth:`~repro.optimize.slot_problem.SlotServiceProblem.is_feasible`.
@@ -290,11 +296,17 @@ class SupervisedSolver:
                             backend=label,
                             attempt=attempt,
                             reason="timeout",
-                            detail=f"soft deadline of {policy.timeout:g}s exceeded",
+                            detail=f"budget of {policy.timeout:g}s exhausted",
                         ),
                     )
                     break  # skip to the next (eventually terminal) entry
-                failure = self._attempt(problem, backend, policy)
+                # Enforce the remaining budget on non-terminal attempts;
+                # the terminal entry always runs unthreaded so the chain
+                # is guaranteed to return.
+                budget = None
+                if deadline is not None and position != last_index:
+                    budget = deadline - reg.clock()
+                failure = self._attempt(problem, backend, policy, budget)
                 if not isinstance(failure, _Failure):
                     h = failure
                     degraded = position > 0
@@ -329,16 +341,24 @@ class SupervisedSolver:
         )
 
     # ------------------------------------------------------------------
-    def _attempt(self, problem, backend, policy):
+    def _attempt(self, problem, backend, policy, budget=None):
         """One backend attempt: run, clip, validate.
 
-        Returns the validated ``h`` on success, a :class:`_Failure`
-        otherwise.
+        With a *budget* (seconds) the backend runs on a daemon watchdog
+        thread and is abandoned once the budget is spent.  Returns the
+        validated ``h`` on success, a :class:`_Failure` otherwise.
         """
         try:
-            raw = backend(problem)
+            if budget is None:
+                raw = backend(problem)
+            else:
+                raw = _call_with_budget(backend, problem, budget)
         except (KeyboardInterrupt, SystemExit):  # pragma: no cover
             raise
+        except _AttemptTimeout:
+            return _Failure(
+                "timeout", f"attempt abandoned after {budget:g}s budget"
+            )
         except SolverFailure as exc:
             return _Failure("raised", str(exc))
         except Exception as exc:  # noqa: BLE001 - supervision boundary
@@ -377,6 +397,39 @@ class _Failure:
 
     reason: str
     detail: str = ""
+
+
+class _AttemptTimeout(Exception):
+    """Internal: a budgeted attempt outlived its wall-clock budget."""
+
+
+def _call_with_budget(backend, problem, budget):
+    """Run ``backend(problem)`` on a daemon thread, bounded by *budget*.
+
+    The abandoned thread cannot be killed — it is daemonized and its
+    eventual result is discarded — but the caller regains control after
+    at most *budget* seconds, which is the property the supervision
+    chain needs.  Exceptions from the backend are re-raised here so the
+    caller's handling is identical to the unbudgeted path.
+    """
+    box: dict = {}
+
+    def _run() -> None:
+        try:
+            box["value"] = backend(problem)
+        except BaseException as exc:  # noqa: BLE001 - relayed to caller
+            box["error"] = exc
+
+    thread = threading.Thread(
+        target=_run, name="repro-solver-attempt", daemon=True
+    )
+    thread.start()
+    thread.join(max(budget, 0.0))
+    if thread.is_alive():
+        raise _AttemptTimeout
+    if "error" in box:
+        raise box["error"]
+    return box["value"]
 
 
 # ----------------------------------------------------------------------

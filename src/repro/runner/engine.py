@@ -18,11 +18,17 @@ Guarantees:
   stored.  Runs carrying non-declarative overrides (a live scheduler or
   cost-model object) are never cached; with ``REPRO_CONTRACTS=1`` the
   cache is bypassed so contract observers actually execute.
+* **Robustness** — a pool worker that dies mid-batch
+  (``BrokenProcessPool``: OOM kill, segfault, ``os._exit``) does not
+  crash the batch: every affected task is retried once in-process and
+  the event is surfaced as :attr:`RunnerStats.incidents`
+  (``runner.incidents`` on the stats registry).
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -123,9 +129,14 @@ class RunnerStats:
     executed: int = 0
     cache_hits: int = 0
     jobs: int = 1
+    #: Worker-death events absorbed by the in-process retry path.
+    incidents: int = 0
 
     def render(self) -> str:
-        return f"runner: {self.executed} executed, {self.cache_hits} cached (jobs={self.jobs})"
+        text = f"runner: {self.executed} executed, {self.cache_hits} cached"
+        if self.incidents:
+            text += f", {self.incidents} incident(s)"
+        return text + f" (jobs={self.jobs})"
 
 
 def runner_stats() -> RunnerStats:
@@ -135,6 +146,7 @@ def runner_stats() -> RunnerStats:
         executed=int(registry.counter("runner.executed")),
         cache_hits=int(registry.counter("runner.cache_hits")),
         jobs=int(registry.gauge("runner.jobs", 1.0)),
+        incidents=int(registry.counter("runner.incidents")),
     )
 
 
@@ -269,13 +281,28 @@ def run_many(
                 continue
         pending.append((index, (key, spec, scenario, scheduler, cost_model, ckpt)))
 
+    incidents = 0
     if pending:
         if jobs == 1 or len(pending) == 1:
             fresh = [_execute_task(task) for _, task in pending]
         else:
             workers = min(jobs, len(pending))
+            fresh = [None] * len(pending)
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                fresh = list(pool.map(_execute_task, [task for _, task in pending]))
+                futures = [pool.submit(_execute_task, task) for _, task in pending]
+                for position, future in enumerate(futures):
+                    try:
+                        fresh[position] = future.result()
+                    except BrokenProcessPool:
+                        # A worker died mid-batch (OOM kill, segfault,
+                        # os._exit).  The pool is unusable from here on
+                        # — every remaining future raises the same
+                        # error — so retry each affected task once
+                        # in-process instead of losing the batch, and
+                        # surface the event on RunnerStats.
+                        incidents += 1
+                        stats_registry().counter_add("runner.incidents")
+                        fresh[position] = _execute_task(pending[position][1])
         for (index, task), result in zip(pending, fresh):
             results[index] = result
             if cache is not None and task[0]:
@@ -289,7 +316,9 @@ def run_many(
     if progress:
         import sys
 
-        batch = RunnerStats(executed=len(pending), cache_hits=hits, jobs=jobs)
+        batch = RunnerStats(
+            executed=len(pending), cache_hits=hits, jobs=jobs, incidents=incidents
+        )
         print(
             f"[repro.runner] {len(specs)} spec(s): {batch.render()}",
             file=sys.stderr,

@@ -35,6 +35,7 @@ __all__ = ["SCENARIO_KINDS", "RunSpec", "ScenarioSpec", "canonical_json", "spec_
 SCENARIO_KINDS: dict = {
     "paper": ("repro.scenarios", "paper_scenario"),
     "small": ("repro.scenarios", "small_scenario"),
+    "wide": ("repro.scenarios", "wide_scenario"),
 }
 
 
@@ -76,7 +77,8 @@ class ScenarioSpec:
     Parameters
     ----------
     kind:
-        One of :data:`SCENARIO_KINDS` (``"paper"`` or ``"small"``).
+        One of :data:`SCENARIO_KINDS` (``"paper"``, ``"small"`` or
+        ``"wide"``).
     horizon:
         Number of slots to generate.
     seed:

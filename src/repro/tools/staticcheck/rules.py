@@ -743,6 +743,74 @@ class TickPathBlockingRule(Rule):
                 )
 
 
+# ----------------------------------------------------------------------
+# GF013 — process-spawn routing
+# ----------------------------------------------------------------------
+class ProcessSpawnRule(Rule):
+    """Process spawning lives in ``runner/`` and ``distrib/`` only.
+
+    Those two packages are the supervised fan-out surfaces: the run
+    engine (``BrokenProcessPool`` hardening, per-spec seeding, caching)
+    and the shard controller (heartbeats, deadlines, respawn budgets,
+    checkpoint re-sync, guaranteed teardown).  A ``subprocess.run`` or
+    ``multiprocessing.Process`` anywhere else is an unsupervised child
+    that leaks on crash, dodges the chaos drills, and breaks the
+    determinism story (a spawn mid-simulation is wall-clock state).
+    The whole ``multiprocessing.*``/``subprocess.*`` surfaces are
+    banned outside the exempt packages — not only the literal spawn
+    calls — so helper entry points cannot creep in around the rule.
+    """
+
+    id = "GF013"
+    title = "process spawning only in runner/ and distrib/"
+    rationale = (
+        "child processes outside the run engine and the shard "
+        "controller have no supervision — no respawn budget, no "
+        "checkpoint re-sync, no teardown guarantee — and their spawns "
+        "make simulation code wall-clock dependent."
+    )
+
+    _ALLOWED = ("runner/", "distrib/")
+    _SPAWN_EXACT = frozenset(
+        {
+            "concurrent.futures.ProcessPoolExecutor",
+            "os.fork",
+            "os.forkpty",
+            "os.posix_spawn",
+            "os.posix_spawnp",
+            "os.system",
+            "os.popen",
+            "pty.fork",
+        }
+    )
+    _SPAWN_PREFIXES = ("multiprocessing.", "subprocess.", "os.spawn", "os.exec")
+
+    def applies_to(self, ctx: "ModuleContext") -> bool:
+        if ctx.anchored and ctx.module.startswith(self._ALLOWED):
+            return False
+        return True
+
+    def check(self, ctx: "ModuleContext") -> Iterator[Violation]:
+        imports = _import_map(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            canonical = _canonical_call(node, imports)
+            if canonical is None:
+                continue
+            if canonical in self._SPAWN_EXACT or canonical.startswith(
+                self._SPAWN_PREFIXES
+            ):
+                yield (
+                    node,
+                    f"process-spawning call {canonical}() outside "
+                    "repro/runner and repro/distrib; route process fan-out "
+                    "through the run engine or the shard controller so "
+                    "supervision, checkpoint re-sync and teardown stay on "
+                    "the tested paths",
+                )
+
+
 # Imported at the bottom on purpose: concurrency.py subclasses
 # ProjectRule (defined above), so by the time this import runs every
 # name it needs from this module already exists.
@@ -758,6 +826,7 @@ RULES: tuple[Rule, ...] = (
     PerfClockRule(),
     SolverRoutingRule(),
     TickPathBlockingRule(),
+    ProcessSpawnRule(),
     *CONCURRENCY_RULES,
 )
 

@@ -1,0 +1,12 @@
+"""Clean fixture for GF013: threads are fine anywhere; processes are not spawned."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+
+def fan_out(tasks, handler):
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        return list(pool.map(handler, tasks))
+
+
+def summarise(results):
+    return sum(results)

@@ -1,0 +1,372 @@
+"""Tests for the sharded scatter-gather execution layer (repro.distrib).
+
+The tentpole guarantees:
+
+* **bit-identity** — a beta = 0 sharded run (greedy backend, sites
+  decompose) matches the serial :class:`GreFarScheduler` run metric for
+  metric, asserted every slot by ``verify="assert"``;
+* **bounded divergence** — for beta > 0 the per-slot objective gap
+  stays within the computable fairness-superadditivity bound;
+* **supervision** — a worker that is killed, hangs or straggles
+  mid-run is detected (crash via pipe EOF; hang vs straggler by
+  heartbeat), retried after respawn, and degraded to a fallback action
+  when budgets run out — with no slot's metrics lost and every event
+  recorded as a :class:`ShardIncident`;
+* **crash-safety** — the controller pickles into the simulator's
+  ckpt-v1 snapshots (workers dropped, lazily respawned), so a killed
+  sharded run resumes bit-identically — including from a **fresh
+  process** through the CLI, the pattern of
+  ``test_checkpoint_resume.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.distrib import (
+    DRILL_KINDS,
+    ShardController,
+    ShardPolicy,
+    partition_sites,
+    run_shard_drill,
+)
+from repro.faults import ProcessFaultEvent, ProcessFaultSchedule
+from repro.core.grefar import GreFarScheduler
+from repro.resilient import Checkpointer, SimulationKilled
+from repro.scenarios import small_scenario, wide_scenario
+from repro.simulation.simulator import Simulator
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def _summary_metrics(summary) -> dict:
+    """Every summary field except the scheduler's display name."""
+    payload = summary.as_dict()
+    payload.pop("scheduler", None)
+    return payload
+
+
+def _run_serial(scenario, horizon, v=5.0, beta=0.0):
+    scheduler = GreFarScheduler(scenario.cluster, v=v, beta=beta)
+    return Simulator(scenario, scheduler, validate=True).run(horizon)
+
+
+def _run_sharded(scenario, horizon, v=5.0, beta=0.0, **kwargs):
+    controller = ShardController(scenario.cluster, v=v, beta=beta, **kwargs)
+    try:
+        result = Simulator(scenario, controller, validate=True).run(horizon)
+    finally:
+        controller.shutdown()
+    return result, controller
+
+
+# ----------------------------------------------------------------------
+# Partitioning and policy validation
+# ----------------------------------------------------------------------
+def test_partition_sites_contiguous_cover():
+    parts = partition_sites(7, 3)
+    assert [len(p) for p in parts] == [3, 2, 2]
+    assert sorted(i for part in parts for i in part) == list(range(7))
+    assert partition_sites(2, 2) == ((0,), (1,))
+
+
+def test_partition_sites_validation():
+    with pytest.raises(ValueError, match="cannot exceed"):
+        partition_sites(2, 3)
+    with pytest.raises(ValueError):
+        partition_sites(0, 1)
+
+
+def test_shard_policy_validation():
+    with pytest.raises(ValueError, match="deadline"):
+        ShardPolicy(deadline=0.0)
+    with pytest.raises(ValueError, match="retries"):
+        ShardPolicy(retries=-1)
+    with pytest.raises(ValueError, match="fallback"):
+        ShardPolicy(fallback="punt")
+    with pytest.raises(ValueError, match="backoff_factor"):
+        ShardPolicy(backoff_factor=0.5)
+    with pytest.raises(ValueError, match="checkpoint_key"):
+        ShardPolicy(checkpoint_key="")
+    assert ShardPolicy(backoff_base=0.1).backoff_seconds(3) == pytest.approx(0.4)
+
+
+def test_process_fault_validation():
+    with pytest.raises(ValueError, match="kind"):
+        ProcessFaultEvent("worker_melt", shard=0)
+    with pytest.raises(ValueError, match="seconds"):
+        ProcessFaultEvent("worker_hang", shard=0, slot=1)
+    with pytest.raises(TypeError, match="ProcessFaultEvent"):
+        ProcessFaultSchedule(("not-an-event",))
+    schedule = ProcessFaultSchedule(
+        (
+            ProcessFaultEvent("worker_kill", shard=1, slot=4),
+            ProcessFaultEvent("slow_start", shard=1, seconds=0.5),
+        )
+    )
+    assert len(schedule) == 2
+    assert not schedule.is_empty
+    assert schedule.at(1, 4).kind == "worker_kill"
+    assert schedule.at(1, 3) is None
+    assert schedule.slow_start_seconds(1) == 0.5
+    assert schedule.slow_start_seconds(0) == 0.0
+    assert len(schedule.for_shard(0)) == 0
+    assert ProcessFaultSchedule.empty().is_empty
+    assert ProcessFaultSchedule.single_kill(0, 2).at(0, 2).kind == "worker_kill"
+
+
+def test_controller_rejects_bad_config(cluster):
+    with pytest.raises(ValueError, match="verify"):
+        ShardController(cluster, verify="maybe")
+    with pytest.raises(ValueError, match="cannot exceed"):
+        ShardController(cluster, num_shards=5)
+
+
+# ----------------------------------------------------------------------
+# Equivalence with the serial slot body
+# ----------------------------------------------------------------------
+def test_beta0_sharded_bit_identical_to_serial():
+    scenario = small_scenario(horizon=30, seed=3)
+    serial = _run_serial(scenario, 30, v=5.0)
+    sharded, controller = _run_sharded(scenario, 30, v=5.0, verify="assert")
+    assert _summary_metrics(sharded.summary) == _summary_metrics(serial.summary)
+    np.testing.assert_array_equal(
+        sharded.metrics.energy_cost, serial.metrics.energy_cost
+    )
+    assert controller.incident_count == 0
+    assert controller.fallback_slots == 0
+    # verify="assert" also recorded the per-slot gap: all exactly zero.
+    assert len(controller.divergence) == 30
+    assert max(gap for _, gap, _ in controller.divergence) == 0.0
+
+
+def test_beta_positive_gap_within_superadditivity_bound():
+    scenario = small_scenario(horizon=25, seed=5)
+    # verify="assert" raises ShardDivergenceError if any slot's gap is
+    # negative or exceeds V*beta*(defect(serial) - defect(sharded)).
+    sharded, controller = _run_sharded(
+        scenario, 25, v=5.0, beta=0.5, verify="assert"
+    )
+    assert len(controller.divergence) == 25
+    for _, gap, bound in controller.divergence:
+        assert gap >= -1e-4
+        assert gap <= bound + 1e-4
+
+
+def test_wide_scenario_three_shards_bit_identical():
+    scenario = wide_scenario(horizon=15, seed=2, num_datacenters=5)
+    serial = _run_serial(scenario, 15, v=7.5)
+    sharded, _ = _run_sharded(
+        scenario, 15, v=7.5, num_shards=3, verify="assert"
+    )
+    assert _summary_metrics(sharded.summary) == _summary_metrics(serial.summary)
+
+
+# ----------------------------------------------------------------------
+# Fault drills: kill / hang / straggler
+# ----------------------------------------------------------------------
+def test_kill_drill_respawns_and_loses_nothing():
+    scenario = small_scenario(horizon=24, seed=3)
+    report = run_shard_drill(scenario, kind="kill", slot=8, v=5.0)
+    assert report.survived, report.render()
+    assert report.lost_slots == 0
+    assert report.counters["resilient.shard.incident.crash"] == 1
+    assert report.counters["resilient.shard.incident.respawn"] == 1
+    assert report.respawns == 1
+    assert report.retired_shards == ()
+    assert "survived           : yes" in report.render()
+
+
+def test_hang_drill_detected_by_missing_heartbeat():
+    scenario = small_scenario(horizon=15, seed=3)
+    report = run_shard_drill(
+        scenario, kind="hang", slot=5, seconds=1.5, v=5.0
+    )
+    assert report.survived, report.render()
+    assert report.counters["resilient.shard.incident.hang"] >= 1
+    assert "resilient.shard.incident.straggler" not in report.counters
+
+
+def test_straggler_drill_detected_despite_heartbeat():
+    scenario = small_scenario(horizon=15, seed=3)
+    report = run_shard_drill(
+        scenario, kind="straggle", slot=5, seconds=1.5, v=5.0
+    )
+    assert report.survived, report.render()
+    assert report.counters["resilient.shard.incident.straggler"] >= 1
+    assert "resilient.shard.incident.hang" not in report.counters
+
+
+def test_slow_start_drill_records_incident():
+    scenario = small_scenario(horizon=10, seed=3)
+    report = run_shard_drill(
+        scenario, kind="slow-start", seconds=1.0, v=5.0
+    )
+    assert report.lost_slots == 0
+    assert report.counters.get("resilient.shard.incident.slow-start", 0) >= 1
+
+
+def test_drill_kinds_table_and_validation():
+    assert set(DRILL_KINDS) == {"kill", "hang", "straggle", "slow-start"}
+    with pytest.raises(ValueError, match="unknown drill kind"):
+        run_shard_drill(small_scenario(horizon=5, seed=0), kind="meteor")
+
+
+# ----------------------------------------------------------------------
+# Degraded mode: budgets exhausted -> retired shard, fallback rows
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("fallback", ["greedy", "hold", "zero"])
+def test_exhausted_budgets_retire_shard_into_fallback(fallback):
+    scenario = small_scenario(horizon=16, seed=3)
+    policy = ShardPolicy(retries=0, max_respawns=0, fallback=fallback)
+    faults = ProcessFaultSchedule.single_kill(shard=0, slot=4)
+    controller = ShardController(
+        scenario.cluster, v=5.0, policy=policy, process_faults=faults
+    )
+    try:
+        result = Simulator(scenario, controller, validate=True).run(16)
+    finally:
+        controller.shutdown()
+    # Every slot still produced a feasible action and a metrics record.
+    assert len(result.metrics.energy_cost) == 16
+    assert controller.retired_shards == (0,)
+    # Slots 4..15 were served by the fallback path for shard 0.
+    assert controller.fallback_slots == 12
+    reasons = {incident.reason for incident in controller.incidents}
+    assert "crash" in reasons
+    assert "fallback" in reasons
+
+
+# ----------------------------------------------------------------------
+# Checkpoint / resume (in-process and fresh-process)
+# ----------------------------------------------------------------------
+def test_controller_pickle_drops_workers():
+    scenario = small_scenario(horizon=8, seed=3)
+    _, controller = _run_sharded(scenario, 8, v=5.0)
+    clone = pickle.loads(pickle.dumps(controller))
+    assert clone._workers == [None, None]
+    assert clone.slots_completed == controller.slots_completed
+    assert clone.name == controller.name
+    clone.shutdown()
+
+
+def test_per_shard_checkpoints_written_and_resynced(tmp_path):
+    scenario = small_scenario(horizon=12, seed=3)
+    policy = ShardPolicy(checkpoint_every=4, checkpoint_dir=str(tmp_path))
+    _, controller = _run_sharded(scenario, 12, v=5.0, policy=policy)
+    files = sorted(p.name for p in tmp_path.glob("*.ckpt"))
+    assert files == ["shard-s0.ckpt", "shard-s1.ckpt"]
+    # A kill drill with per-shard checkpoints re-syncs the respawned
+    # worker from its snapshot (visible in the respawn incident detail).
+    faults = ProcessFaultSchedule.single_kill(shard=0, slot=6)
+    controller = ShardController(
+        scenario.cluster, v=5.0, policy=policy, process_faults=faults
+    )
+    try:
+        Simulator(scenario, controller, validate=True).run(12)
+    finally:
+        controller.shutdown()
+    respawns = [i for i in controller.incidents if i.reason == "respawn"]
+    assert respawns and "re-synced from checkpoint" in respawns[0].detail
+
+
+def test_sharded_kill_and_resume_bit_identical_in_process(tmp_path):
+    scenario = small_scenario(horizon=20, seed=3)
+    baseline = _run_sharded(scenario, 20, v=5.0)[0]
+
+    def checkpointer(kill_at=None):
+        return Checkpointer(
+            "shard-test", every=5, directory=str(tmp_path), kill_at=kill_at
+        )
+
+    controller = ShardController(scenario.cluster, v=5.0)
+    with pytest.raises(SimulationKilled):
+        try:
+            Simulator(scenario, controller, validate=True).run(
+                20, checkpointer=checkpointer(kill_at=10)
+            )
+        finally:
+            controller.shutdown()
+    # A fresh controller object resumes purely from the snapshot (which
+    # carries the pickled mid-run controller, workers re-spawned lazily).
+    resumed_controller = ShardController(scenario.cluster, v=5.0)
+    try:
+        resumed = Simulator(scenario, resumed_controller, validate=True).run(
+            20, checkpointer=checkpointer(), resume=True
+        )
+    finally:
+        resumed_controller.shutdown()
+    assert _summary_metrics(resumed.summary) == _summary_metrics(baseline.summary)
+
+
+def _repro(args, cwd):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        cwd=cwd,
+        env={
+            "PYTHONPATH": str(REPO / "src"),
+            "PATH": "/usr/bin:/bin:/usr/local/bin",
+        },
+        timeout=600,
+    )
+
+
+def test_cli_fresh_process_shard_kill_and_resume(tmp_path):
+    base = [
+        "shard",
+        "--scenario",
+        "small",
+        "--horizon",
+        "40",
+        "--v",
+        "5.0",
+        "--json",
+    ]
+
+    killed = _repro(base + ["--checkpoint-every", "10", "--kill-at", "20"], tmp_path)
+    assert killed.returncode == 3, killed.stdout + killed.stderr
+    assert "resume" in killed.stderr
+    ckpt_dir = tmp_path / ".repro_cache" / "checkpoints"
+    # One whole-run snapshot plus the two per-shard ckpt-v1 snapshots.
+    names = sorted(p.name for p in ckpt_dir.glob("*.ckpt"))
+    assert "shard-s0.ckpt" in names and "shard-s1.ckpt" in names
+    assert any(name.startswith("shard-small-") for name in names)
+
+    resumed = _repro(base + ["--checkpoint-every", "10", "--resume"], tmp_path)
+    assert resumed.returncode == 0, resumed.stdout + resumed.stderr
+
+    fresh = _repro(base, tmp_path)
+    assert fresh.returncode == 0, fresh.stdout + fresh.stderr
+
+    assert resumed.stdout == fresh.stdout
+    assert json.loads(resumed.stdout) == json.loads(fresh.stdout)
+
+
+def test_cli_shard_drill_exit_codes(tmp_path):
+    drill = _repro(
+        [
+            "shard",
+            "--scenario",
+            "small",
+            "--horizon",
+            "18",
+            "--v",
+            "5.0",
+            "--drill",
+            "kill",
+            "--drill-slot",
+            "6",
+        ],
+        tmp_path,
+    )
+    assert drill.returncode == 0, drill.stdout + drill.stderr
+    assert "survived           : yes" in drill.stdout

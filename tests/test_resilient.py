@@ -16,6 +16,8 @@ Four surfaces, one promise each:
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
@@ -196,6 +198,52 @@ def test_policy_validation():
         SolverPolicy(retries=-1)
     with pytest.raises(ValueError, match="timeout must be positive"):
         SolverPolicy(timeout=0.0)
+
+
+def _sleepy(problem):
+    time.sleep(5.0)
+    from repro.optimize import solve_greedy
+
+    return solve_greedy(problem)
+
+
+_sleepy.name = "sleepy"
+
+
+def test_timeout_budget_abandons_attempt_and_degrades():
+    """``SolverPolicy.timeout`` is an enforced chain-wide budget.
+
+    A primary that burns the whole budget is abandoned on its watchdog
+    thread; with the budget spent, the supervisor skips the remaining
+    non-terminal entries and jumps to the terminal ``"zero"`` action.
+    The solve returns in ~the budget, not the backend's 5 s sleep.
+    """
+    problem = random_problem(6)
+    solver = SupervisedSolver(
+        chain=(_sleepy, "greedy", "zero"), policy=SolverPolicy(timeout=0.2)
+    )
+    start = time.perf_counter()
+    outcome = solver.solve(problem, slot=2)
+    elapsed = time.perf_counter() - start
+    assert elapsed < 2.0
+    assert outcome.degraded
+    assert outcome.backend == "zero"
+    assert np.array_equal(outcome.h, np.zeros_like(problem.h_upper))
+    assert [i.reason for i in outcome.incidents] == ["timeout", "timeout"]
+    assert "abandoned" in outcome.incidents[0].detail
+    assert "exhausted" in outcome.incidents[1].detail
+
+
+def test_timeout_with_slack_keeps_primary_result():
+    problem = random_problem(8)
+    direct = SupervisedSolver().solve(problem, primary="greedy", slot=1)
+    budgeted = SupervisedSolver(policy=SolverPolicy(timeout=30.0)).solve(
+        problem, primary="greedy", slot=1
+    )
+    assert np.array_equal(budgeted.h, direct.h)
+    assert budgeted.backend == "greedy"
+    assert not budgeted.degraded
+    assert budgeted.incidents == ()
 
 
 def test_chain_for_callable_gets_standard_tail():

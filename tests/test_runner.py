@@ -13,6 +13,8 @@ therefore monkeypatch it off and use a ``tmp_path`` cache root.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 import pickle
 
 import numpy as np
@@ -34,6 +36,7 @@ from repro.runner import (
 )
 from repro.runner.cache import SCHEMA_TAG
 from repro.schedulers import build_scheduler, scheduler_entry, scheduler_names
+from repro.schedulers.always import AlwaysScheduler
 
 SMALL = ScenarioSpec(kind="small", horizon=40, seed=3)
 
@@ -249,6 +252,49 @@ def test_result_payload_round_trip():
     assert payload.summary.as_dict() == result.summary.as_dict()
     for name in result.series:
         np.testing.assert_array_equal(payload.series[name], result.series[name])
+
+
+# ----------------------------------------------------------------------
+# Worker-death robustness
+# ----------------------------------------------------------------------
+class _PoolWorkerKiller(AlwaysScheduler):
+    """Live scheduler that hard-kills any pool worker running it.
+
+    ``os._exit`` inside a ProcessPoolExecutor worker surfaces to the
+    parent as ``BrokenProcessPool`` — the same signature as an OOM kill
+    or segfault.  In the parent process (``parent_process() is None``)
+    it behaves normally, so the engine's in-process retry succeeds.
+    """
+
+    def decide(self, t, state, queues):
+        if multiprocessing.parent_process() is not None:
+            os._exit(1)
+        return super().decide(t, state, queues)
+
+
+def test_pool_worker_death_retried_in_process(scenario):
+    specs = [
+        RunSpec(scenario=None, scheduler=None, horizon=10) for _ in range(2)
+    ]
+    serial = run_many(
+        specs,
+        jobs=1,
+        scenario=scenario,
+        schedulers=[_PoolWorkerKiller(scenario.cluster) for _ in specs],
+    )
+    reset_stats()
+    survived = run_many(
+        specs,
+        jobs=2,
+        scenario=scenario,
+        schedulers=[_PoolWorkerKiller(scenario.cluster) for _ in specs],
+    )
+    stats = runner_stats()
+    assert stats.incidents == 2
+    assert "2 incident(s)" in stats.render()
+    for reference, result in zip(serial, survived):
+        assert result.summary.as_dict() == reference.summary.as_dict()
+    reset_stats()
 
 
 # ----------------------------------------------------------------------

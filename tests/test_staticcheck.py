@@ -1,6 +1,6 @@
 """Self-tests for the project static checker (repro.tools.staticcheck).
 
-Each rule GF001-GF012 gets one deliberately-bad fixture it must flag and
+Each rule GF001-GF013 gets one deliberately-bad fixture it must flag and
 one clean fixture it must pass; the fixtures live in
 ``tests/staticcheck_fixtures/`` and are parsed, never imported.
 """
@@ -37,6 +37,7 @@ RULE_CASES = [
     ("GF010", "gf010_bad.py", 4, "gf010_good.py"),
     ("GF011", "gf011_bad.py", 2, "gf011_good.py"),
     ("GF012", "gf012_bad.py", 3, "gf012_good.py"),
+    ("GF013", "gf013_bad.py", 3, "gf013_good.py"),
 ]
 
 
@@ -113,6 +114,7 @@ def test_rule_ids_registry():
         "GF010",
         "GF011",
         "GF012",
+        "GF013",
     ]
 
 
